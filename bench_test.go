@@ -1,0 +1,340 @@
+package haft
+
+// The benchmark harness: one testing.B benchmark per table and figure
+// of the paper's evaluation, plus ablation benches for the design
+// choices called out in DESIGN.md. Every benchmark runs a scaled-down
+// but structurally complete version of its experiment and reports the
+// headline quantity through b.ReportMetric; cmd/haftbench regenerates
+// the full tables.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/fault"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// benchOptions returns experiment options scaled for the benchmark
+// harness: a representative benchmark subset and few injections.
+func benchOptions() exp.Options {
+	o := exp.DefaultOptions()
+	o.Scale = 1
+	o.Threads = []int{1, 8}
+	o.PerfThreads = 8
+	o.Injections = 40
+	o.Benchmarks = []string{"histogram", "matrixmul", "wordcount", "blackscholes", "vips"}
+	return o
+}
+
+// BenchmarkFig6Overhead measures normalized HAFT runtime over native
+// (Figure 6); the reported metric is the mean overhead factor.
+func BenchmarkFig6Overhead(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		s := exp.Fig6(o)
+		ys := s.Y["8T"]
+		b.ReportMetric(ys[len(ys)-1], "mean-overhead-x")
+	}
+}
+
+// BenchmarkTable2Breakdown measures the ILR / TX / HAFT overhead
+// breakdown, hyper-threading abort increase, and coverage (Table 2).
+func BenchmarkTable2Breakdown(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t := exp.Table2(o)
+		mean := t.Rows[len(t.Rows)-1]
+		_ = mean
+	}
+}
+
+// BenchmarkFig7Optimizations measures the cumulative optimization
+// ladder N/S/C/L/F (Figure 7).
+func BenchmarkFig7Optimizations(b *testing.B) {
+	o := benchOptions()
+	o.Benchmarks = []string{"histogram", "vips"}
+	for i := 0; i < b.N; i++ {
+		_ = exp.Fig7(o)
+	}
+}
+
+// BenchmarkFig8TxSize sweeps the transaction-size threshold (Figure 8)
+// and reports the abort-rate spread between the extremes.
+func BenchmarkFig8TxSize(b *testing.B) {
+	o := benchOptions()
+	o.Benchmarks = []string{"wordcount", "streamcluster"}
+	for i := 0; i < b.N; i++ {
+		_, aborts := exp.Fig8(o)
+		small := aborts.Y["250"]
+		large := aborts.Y["5000"]
+		b.ReportMetric(large[0]-small[0], "abort-growth-pp")
+	}
+}
+
+// BenchmarkTable3AbortCauses measures abort rates and causes at the
+// worst-case transaction size of 5,000 (Table 3).
+func BenchmarkTable3AbortCauses(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		_ = exp.Table3(o)
+	}
+}
+
+// BenchmarkFig9FaultInjection runs the reliability campaigns of
+// Figure 9 (left) and reports HAFT's corrected share.
+func BenchmarkFig9FaultInjection(b *testing.B) {
+	o := benchOptions()
+	o.Benchmarks = []string{"histogram", "linearreg"}
+	for i := 0; i < b.N; i++ {
+		outs, _, err := exp.Fig9(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		corrected := 0.0
+		for _, out := range outs {
+			corrected += out.HAFT.Rate(fault.OutcomeHAFTCorrected)
+		}
+		b.ReportMetric(corrected/float64(len(outs)), "corrected-%")
+	}
+}
+
+// BenchmarkFig9Optimizations runs the reliability-by-optimization
+// ablation of Figure 9 (right).
+func BenchmarkFig9Optimizations(b *testing.B) {
+	o := benchOptions()
+	o.Injections = 25
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig9Opts(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4FaultProbabilities aggregates campaigns into the
+// Table 4 model parameters.
+func BenchmarkTable4FaultProbabilities(b *testing.B) {
+	o := benchOptions()
+	o.Benchmarks = []string{"histogram", "linearreg"}
+	for i := 0; i < b.N; i++ {
+		_, _, haftP, _, err := exp.Table4(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*haftP.PCorrectable, "correctable-%")
+	}
+}
+
+// BenchmarkFig10Model solves the CTMC availability model across the
+// fault-rate sweep (Figure 10) and reports HAFT availability at
+// 1 fault/s.
+func BenchmarkFig10Model(b *testing.B) {
+	n, i2, h := exp.PaperTable4()
+	for i := 0; i < b.N; i++ {
+		av, _, err := exp.Fig10(n, i2, h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ys := av.Y["HAFT"]
+		b.ReportMetric(ys[len(ys)-1], "haft-avail-%")
+	}
+}
+
+// BenchmarkFig11Memcached measures the Memcached variants of
+// Figure 11 and reports HAFT-lock's throughput share of native-lock.
+func BenchmarkFig11Memcached(b *testing.B) {
+	o := exp.DefaultOptions()
+	for i := 0; i < b.N; i++ {
+		series := exp.Fig11(o)
+		a := series[0]
+		hl := a.Y["HAFT-lock"]
+		nl := a.Y["native-lock"]
+		b.ReportMetric(100*hl[len(hl)-1]/nl[len(nl)-1], "haft-lock-vs-native-%")
+	}
+}
+
+// BenchmarkFig11SEI compares HAFT against the SEI baseline (Figure 11
+// right) and reports HAFT's advantage.
+func BenchmarkFig11SEI(b *testing.B) {
+	o := exp.DefaultOptions()
+	for i := 0; i < b.N; i++ {
+		s := exp.Fig11SEI(o)
+		h := s.Y["HAFT"]
+		sei := s.Y["SEI"]
+		b.ReportMetric(100*(h[len(h)-1]/sei[len(sei)-1]-1), "haft-over-sei-%")
+	}
+}
+
+// BenchmarkFig12CaseStudies measures the four §6.2 applications and
+// reports SQLite's overhead factor (the paper's worst case).
+func BenchmarkFig12CaseStudies(b *testing.B) {
+	o := exp.DefaultOptions()
+	for i := 0; i < b.N; i++ {
+		series := exp.Fig12(o)
+		sq := series[4] // SQLite (A)
+		nat := sq.Y["native"]
+		hf := sq.Y["HAFT"]
+		b.ReportMetric(nat[len(nat)-1]/hf[len(hf)-1], "sqlite-overhead-x")
+	}
+}
+
+// BenchmarkAppFaultInjection runs the §6 fault-injection campaigns
+// (Memcached SDCs, LevelDB/SQLite crash reduction).
+func BenchmarkAppFaultInjection(b *testing.B) {
+	o := exp.DefaultOptions()
+	o.Injections = 30
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AppFI(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationRetryBudget ablates HAFT's bounded-retry policy
+// (default 3): with no retries every detected fault fail-stops; large
+// budgets add little because conflicts resolve within a few attempts.
+func BenchmarkAblationRetryBudget(b *testing.B) {
+	spec, err := workloads.ByName("linearreg")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := spec.Build(0)
+	mod := core.MustHarden(p.Module, core.Config{
+		Mode: core.ModeHAFT, Opt: core.OptFaultProp,
+		TxThreshold: p.TxThreshold, Blacklist: p.Blacklist,
+	})
+	for _, retries := range []int{1, 3, 10} {
+		b.Run(map[int]string{1: "retries=1", 3: "retries=3", 10: "retries=10"}[retries], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := vm.DefaultConfig()
+				cfg.MaxRetries = retries
+				hp := *p
+				hp.Module = mod
+				tg := &fault.Target{
+					Name: "linearreg", Module: mod, Threads: 2, VM: cfg,
+					Specs: hp.SpecsFor(2),
+				}
+				res, err := fault.Campaign(tg, 40, 5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Rate(fault.OutcomeHAFTCorrected), "corrected-%")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTxGranularity contrasts the balanced function+loop
+// transactification against the per-function extreme (huge
+// transactions that blow the capacity limits — the naive algorithm
+// §3.2 rejects), measured by abort rate.
+func BenchmarkAblationTxGranularity(b *testing.B) {
+	spec, err := workloads.ByName("swaptions")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := spec.Build(1)
+	for _, tc := range []struct {
+		name      string
+		threshold int64
+	}{
+		{"balanced-1000", 1000},
+		{"huge-1000000", 1000000}, // effectively per-function transactions
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			mod := core.MustHarden(p.Module, core.Config{
+				Mode: core.ModeHAFT, Opt: core.OptFaultProp,
+				TxThreshold: tc.threshold, Blacklist: p.Blacklist,
+			})
+			for i := 0; i < b.N; i++ {
+				mach := vm.New(mod.Clone(), 4, vm.DefaultConfig())
+				hp := *p
+				hp.Module = mod
+				mach.Run(hp.SpecsFor(4)...)
+				if mach.Status() != vm.StatusOK {
+					b.Fatalf("run: %v", mach.Status())
+				}
+				b.ReportMetric(mach.HTM.Stats.AbortRate(), "abort-%")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPOWER8 contrasts the Intel-TSX HTM model with the
+// POWER8 features the paper's future work proposes (§7): rollback-only
+// transactions (no read-set tracking) and interrupt suspension. The
+// read-capacity-bound matrixmul benefits most.
+func BenchmarkAblationPOWER8(b *testing.B) {
+	spec, err := workloads.ByName("matrixmul")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := spec.Build(1)
+	mod := core.MustHarden(p.Module, core.Config{
+		Mode: core.ModeHAFT, Opt: core.OptFaultProp,
+		TxThreshold: 5000, Blacklist: p.Blacklist,
+	})
+	for _, tc := range []struct {
+		name   string
+		power8 bool
+	}{{"tsx", false}, {"power8-rot", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := vm.DefaultConfig()
+				cfg.HTM.RollbackOnly = tc.power8
+				cfg.HTM.SuspendOnInterrupt = tc.power8
+				mach := vm.New(mod.Clone(), 4, cfg)
+				hp := *p
+				hp.Module = mod
+				mach.Run(hp.SpecsFor(4)...)
+				if mach.Status() != vm.StatusOK {
+					b.Fatalf("run: %v", mach.Status())
+				}
+				b.ReportMetric(mach.HTM.Stats.AbortRate(), "abort-%")
+				b.ReportMetric(100*mach.Coverage(), "coverage-%")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAdaptiveThreshold ablates the dynamic threshold
+// adjustment of the paper's future work (§7) on an abort-prone
+// benchmark: adaptation shrinks transactions on hot paths, trading a
+// little instrumentation for far fewer wasted re-executions.
+func BenchmarkAblationAdaptiveThreshold(b *testing.B) {
+	spec, err := workloads.ByName("streamcluster")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := spec.Build(1)
+	mod := core.MustHarden(p.Module, core.Config{
+		Mode: core.ModeHAFT, Opt: core.OptFaultProp,
+		TxThreshold: 5000, Blacklist: p.Blacklist, // deliberately oversized
+	})
+	for _, tc := range []struct {
+		name     string
+		adaptive bool
+	}{{"static", false}, {"adaptive", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := vm.DefaultConfig()
+				cfg.AdaptiveThreshold = tc.adaptive
+				mach := vm.New(mod.Clone(), 8, cfg)
+				hp := *p
+				hp.Module = mod
+				mach.Run(hp.SpecsFor(8)...)
+				if mach.Status() != vm.StatusOK {
+					b.Fatalf("run: %v", mach.Status())
+				}
+				b.ReportMetric(mach.HTM.Stats.AbortRate(), "abort-%")
+				b.ReportMetric(float64(mach.Stats().Cycles), "cycles")
+			}
+		})
+	}
+}

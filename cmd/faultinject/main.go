@@ -1,0 +1,65 @@
+// Command faultinject runs single-event-upset campaigns (§4.2, §5.5)
+// against a benchmark or case-study program under the chosen
+// hardening mode and prints the Table 1 outcome breakdown.
+//
+// Usage:
+//
+//	faultinject [-n N] [-seed N] [-mode native|ilr|haft] [-scale N] benchmark...
+//	faultinject -n 500 -mode haft linearreg canneal
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	haft "repro"
+)
+
+func main() {
+	n := flag.Int("n", 250, "number of injections (paper: 2500)")
+	seed := flag.Int64("seed", 1, "campaign seed")
+	mode := flag.String("mode", "haft", "hardening mode: native, ilr, haft (or a comma list)")
+	scale := flag.Int("scale", 0, "input scale (0 = smallest, as in the paper's FI runs)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintf(os.Stderr, "usage: faultinject [flags] benchmark...\nbenchmarks: %s\n",
+			strings.Join(haft.Benchmarks(), " "))
+		os.Exit(2)
+	}
+	modes := strings.Split(*mode, ",")
+	for _, name := range flag.Args() {
+		for _, ms := range modes {
+			prog, err := haft.Benchmark(name, *scale)
+			if err != nil {
+				fatal(err)
+			}
+			cfg := haft.DefaultConfig()
+			switch ms {
+			case "native":
+				cfg.Mode = haft.ModeNative
+			case "ilr":
+				cfg.Mode = haft.ModeILR
+			case "haft":
+				cfg.Mode = haft.ModeHAFT
+			default:
+				fatal(fmt.Errorf("unknown mode %q", ms))
+			}
+			hard, err := haft.Harden(prog, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			rep, err := haft.InjectFaults(hard, *n, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-14s %-6s %s\n", name, ms, rep)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "faultinject:", err)
+	os.Exit(1)
+}

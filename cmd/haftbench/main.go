@@ -1,0 +1,58 @@
+// Command haftbench regenerates the tables and figures of the HAFT
+// paper's evaluation (§5–§6). Each experiment id corresponds to one
+// table or figure; see DESIGN.md for the full index.
+//
+// Usage:
+//
+//	haftbench [-scale N] [-injections N] [-seed N] [-benchmarks a,b,c] id...
+//	haftbench all
+//
+// Absolute numbers come from the machine simulator, not a Haswell
+// testbed; the shapes (who wins, rough factors, crossovers) are the
+// reproduction target. EXPERIMENTS.md records paper-vs-measured
+// values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	haft "repro"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "input scale (1 = default; fault injection always uses the smallest inputs)")
+	injections := flag.Int("injections", 150, "fault injections per program per mode (paper: 2500)")
+	seed := flag.Int64("seed", 1, "campaign seed")
+	benches := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
+	flag.Parse()
+	ids := flag.Args()
+	if len(ids) == 0 {
+		fmt.Fprintf(os.Stderr, "usage: haftbench [flags] id...\navailable: %s all\n",
+			strings.Join(haft.Experiments(), " "))
+		os.Exit(2)
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = haft.Experiments()
+	}
+	opts := haft.DefaultExperimentOptions()
+	opts.Scale = *scale
+	opts.Injections = *injections
+	opts.Seed = *seed
+	if *benches != "" {
+		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+	for _, id := range ids {
+		start := time.Now()
+		out, err := haft.Experiment(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "haftbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s took %s]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,121 @@
+// Command haftc is the HAFT compiler driver: it reads a program in
+// the textual IR, applies the requested hardening pipeline (ILR for
+// detection, TX for recovery), and prints the transformed IR — the
+// equivalent of running the paper's LLVM passes and inspecting the
+// bitcode.
+//
+// Usage:
+//
+//	haftc [-mode native|ilr|tx|haft] [-opt N|S|C|L|F] [-threshold N] [-O] [-stats] [-run] [-threads N] [-trace N] file.{ir,hc}
+//
+// With -run the program is also executed on the simulated machine and
+// its output and statistics are printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	haft "repro"
+)
+
+func main() {
+	mode := flag.String("mode", "haft", "hardening mode: native, ilr, tx, haft")
+	opt := flag.String("opt", "F", "optimization level: N, S, C, L, F (cumulative, §3.3)")
+	threshold := flag.Int64("threshold", 1000, "transaction-size threshold in instructions")
+	run := flag.Bool("run", false, "execute the program after hardening")
+	threads := flag.Int("threads", 1, "threads for -run")
+	optimize := flag.Bool("O", false, "run scalar optimizations before the hardening passes (the paper's -O3 step)")
+	stats := flag.Bool("stats", false, "print static instrumentation statistics (LLVM -stats style)")
+	trace := flag.Int("trace", 0, "with -run: print the first N register-writing trace events (SDE debugtrace style)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: haftc [flags] file.ir")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	// .hc files hold the C-flavored source language; everything else
+	// is textual IR.
+	var prog *haft.Program
+	if strings.HasSuffix(flag.Arg(0), ".hc") {
+		prog, err = haft.CompileSource(string(src))
+	} else {
+		prog, err = haft.Parse(string(src))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	cfg := haft.DefaultConfig()
+	cfg.TxThreshold = *threshold
+	switch *mode {
+	case "native":
+		cfg.Mode = haft.ModeNative
+	case "ilr":
+		cfg.Mode = haft.ModeILR
+	case "tx":
+		cfg.Mode = haft.ModeTX
+	case "haft":
+		cfg.Mode = haft.ModeHAFT
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	switch *opt {
+	case "N":
+		cfg.Opt = haft.OptNone
+	case "S":
+		cfg.Opt = haft.OptSharedMem
+	case "C":
+		cfg.Opt = haft.OptControlFlow
+	case "L":
+		cfg.Opt = haft.OptLocalCalls
+	case "F":
+		cfg.Opt = haft.OptFaultProp
+	default:
+		fatal(fmt.Errorf("unknown opt level %q", *opt))
+	}
+	cfg.Optimize = *optimize
+	hard, err := haft.Harden(prog, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(hard.Source())
+	if *stats {
+		fmt.Println("\n; instrumentation statistics:")
+		for _, line := range strings.Split(strings.TrimRight(haft.Stats(hard), "\n"), "\n") {
+			fmt.Println(";" + line)
+		}
+		fmt.Printf(";  static expansion vs input: %.2fx\n",
+			haft.Expansion(prog, hard))
+	}
+	if *run {
+		var res haft.Result
+		if *trace > 0 {
+			var events []haft.TraceEvent
+			res, events = haft.Trace(hard, *threads, *trace)
+			fmt.Println("\n; trace (dynamic register writes):")
+			for _, ev := range events {
+				fmt.Printf(";   #%-6d c%d %s/%s %-8s -> %d (cycle %d)\n",
+					ev.Index, ev.Core, ev.Func, ev.Block, ev.Op, int64(ev.Value), ev.Cycle)
+			}
+		} else {
+			res = haft.Run(hard, *threads)
+		}
+		fmt.Printf("\n; status=%s cycles=%d (%.3g s) instrs=%d aborts=%.2f%% coverage=%.1f%%\n",
+			res.Status, res.Cycles, res.Seconds, res.DynInstrs, res.AbortRate, res.Coverage)
+		fmt.Printf("; output: %v\n", res.Output)
+		if res.CrashReason != "" {
+			fmt.Printf("; crash: %s\n", res.CrashReason)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "haftc:", err)
+	os.Exit(1)
+}

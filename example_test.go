@@ -1,0 +1,99 @@
+package haft_test
+
+import (
+	"fmt"
+
+	haft "repro"
+)
+
+// The Figure 2 program of the paper: count a global to 1000 and
+// externalize it.
+const exampleSrc = `
+global c bytes=8
+func main(0) {
+entry:
+  v0 = load #4096
+  jmp loop
+loop:
+  v1 = phi v0 [entry], v2 [loop]
+  v2 = add v1, #1
+  v3 = cmp lt v2, #1000
+  br v3, loop, end
+end:
+  store #4096, v2
+  out v2
+  ret
+}
+`
+
+// Harden a program with the full HAFT pipeline and run it.
+func Example() {
+	prog, err := haft.Parse(exampleSrc)
+	if err != nil {
+		panic(err)
+	}
+	hard, err := haft.Harden(prog, haft.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	res := haft.Run(hard, 1)
+	fmt.Println(res.Status, res.Output)
+	// Output: ok [1000]
+}
+
+// Compare the hardening modes on the same program: ILR detects, TX
+// recovers, HAFT does both.
+func ExampleHarden() {
+	prog, _ := haft.Parse(exampleSrc)
+	for _, mode := range []haft.Mode{haft.ModeILR, haft.ModeTX, haft.ModeHAFT} {
+		cfg := haft.DefaultConfig()
+		cfg.Mode = mode
+		hard, err := haft.Harden(prog, cfg)
+		if err != nil {
+			panic(err)
+		}
+		res := haft.Run(hard, 1)
+		fmt.Printf("%s: %s %v\n", mode, res.Status, res.Output)
+	}
+	// Output:
+	// ilr: ok [1000]
+	// tx: ok [1000]
+	// haft: ok [1000]
+}
+
+// Run a paper benchmark on multiple simulated cores.
+func ExampleBenchmark() {
+	prog, err := haft.Benchmark("histogram", 0)
+	if err != nil {
+		panic(err)
+	}
+	res := haft.Run(prog, 4)
+	fmt.Println(res.Status, len(res.Output) > 0)
+	// Output: ok true
+}
+
+// Inject single-event upsets into a hardened program; HAFT converts
+// corruptions into rollbacks.
+func ExampleInjectFaults() {
+	prog, _ := haft.Parse(exampleSrc)
+	hard, _ := haft.Harden(prog, haft.DefaultConfig())
+	rep, err := haft.InjectFaults(hard, 100, 42)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("corrupted=%.0f%% corrected>0: %v\n", rep.Corrupted, rep.Corrected > 0)
+	// Output: corrupted=0% corrected>0: true
+}
+
+// Collect an execution trace (the SDE-debugtrace analogue of §4.2).
+func ExampleTrace() {
+	prog, _ := haft.Parse(exampleSrc)
+	_, events := haft.Trace(prog, 1, 3)
+	for _, ev := range events {
+		fmt.Printf("#%d %s/%s %s\n", ev.Index, ev.Func, ev.Block, ev.Op)
+	}
+	// Output:
+	// #0 main/entry load
+	// #1 main/loop phi
+	// #2 main/loop add
+}

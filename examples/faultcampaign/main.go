@@ -1,0 +1,77 @@
+// faultcampaign: reproduces the reliability pipeline of §5.5 on one
+// benchmark — fault-injection campaigns for the native, ILR-only and
+// full-HAFT builds, fed into the continuous-time Markov model of
+// Figure 5 to predict availability under sustained fault rates
+// (Figure 10).
+//
+//	go run ./examples/faultcampaign [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	haft "repro"
+	"repro/internal/markov"
+)
+
+func campaign(name string, mode haft.Mode, n int) haft.FaultReport {
+	prog, err := haft.Benchmark(name, 0) // smallest input, like §5.1
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := haft.DefaultConfig()
+	cfg.Mode = mode
+	hard, err := haft.Harden(prog, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := haft.InjectFaults(hard, n, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rep
+}
+
+func params(r haft.FaultReport, detects bool) markov.Params {
+	p := markov.Params{
+		PMasked:           r.Masked / 100,
+		PSDC:              r.Corrupted / 100,
+		PCrashed:          r.Crashed / 100,
+		PCorrectable:      r.Corrected / 100,
+		DetectsCorruption: detects,
+	}
+	p.PaperRecoveryTimes()
+	return p
+}
+
+func main() {
+	bench := "linearreg"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	const n = 300
+	fmt.Printf("fault injection on %s (%d injections per version):\n", bench, n)
+	nat := campaign(bench, haft.ModeNative, n)
+	ilr := campaign(bench, haft.ModeILR, n)
+	hft := campaign(bench, haft.ModeHAFT, n)
+	fmt.Printf("  native: %s\n  ilr:    %s\n  haft:   %s\n\n", nat, ilr, hft)
+
+	fmt.Println("availability over 1 hour vs fault rate (CTMC model, Figure 10):")
+	fmt.Printf("%12s %10s %10s %10s\n", "faults/s", "native", "ILR", "HAFT")
+	for _, rate := range []float64{0.00028, 0.01, 0.1, 0.5, 1.0} {
+		row := []float64{}
+		for _, pr := range []markov.Params{params(nat, false), params(ilr, true), params(hft, true)} {
+			pr.FaultRate = rate
+			a, _, err := pr.Evaluate(3600)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row = append(row, 100*a)
+		}
+		fmt.Printf("%12.5f %9.1f%% %9.1f%% %9.1f%%\n", rate, row[0], row[1], row[2])
+	}
+	fmt.Println("\nHAFT's fast (µs) transactional recovery keeps the system available")
+	fmt.Println("where ILR's fail-stop reboots and native's silent corruptions do not.")
+}

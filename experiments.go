@@ -1,0 +1,127 @@
+package haft
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+// ExperimentOptions parameterizes the evaluation harness.
+type ExperimentOptions = exp.Options
+
+// DefaultExperimentOptions returns interactive-scale defaults (the
+// full paper-scale campaign takes hours; raise Injections and Scale to
+// approach it).
+func DefaultExperimentOptions() ExperimentOptions { return exp.DefaultOptions() }
+
+// experimentRunners maps experiment ids to runners. Every table and
+// figure of the paper's evaluation has an entry (see DESIGN.md's
+// experiment index).
+var experimentRunners = map[string]func(exp.Options) (string, error){
+	"fig6": func(o exp.Options) (string, error) {
+		return exp.Fig6(o).String(), nil
+	},
+	"table2": func(o exp.Options) (string, error) {
+		return exp.Table2(o).String(), nil
+	},
+	"fig7": func(o exp.Options) (string, error) {
+		return exp.Fig7(o).String(), nil
+	},
+	"fig8": func(o exp.Options) (string, error) {
+		over, ab := exp.Fig8(o)
+		return over.String() + "\n" + ab.String(), nil
+	},
+	"table3": func(o exp.Options) (string, error) {
+		return exp.Table3(o).String(), nil
+	},
+	"fig9": func(o exp.Options) (string, error) {
+		_, t, err := exp.Fig9(o)
+		if err != nil {
+			return "", err
+		}
+		return t.String(), nil
+	},
+	"fig9opts": func(o exp.Options) (string, error) {
+		t, err := exp.Fig9Opts(o)
+		if err != nil {
+			return "", err
+		}
+		return t.String(), nil
+	},
+	"table4": func(o exp.Options) (string, error) {
+		_, _, _, t, err := exp.Table4(o)
+		if err != nil {
+			return "", err
+		}
+		return t.String(), nil
+	},
+	"fig10": func(o exp.Options) (string, error) {
+		// Model evaluated with the published Table 4 parameters; run
+		// "fig10measured" to use a fresh fault-injection campaign.
+		n, i, h := exp.PaperTable4()
+		av, co, err := exp.Fig10(n, i, h)
+		if err != nil {
+			return "", err
+		}
+		return av.String() + "\n" + co.String(), nil
+	},
+	"fig10measured": func(o exp.Options) (string, error) {
+		n, i, h, t, err := exp.Table4(o)
+		if err != nil {
+			return "", err
+		}
+		av, co, err := exp.Fig10(n, i, h)
+		if err != nil {
+			return "", err
+		}
+		return t.String() + "\n" + av.String() + "\n" + co.String(), nil
+	},
+	"fig11": func(o exp.Options) (string, error) {
+		var sb strings.Builder
+		for _, s := range exp.Fig11(o) {
+			sb.WriteString(s.String())
+			sb.WriteString("\n")
+		}
+		return sb.String(), nil
+	},
+	"fig11sei": func(o exp.Options) (string, error) {
+		return exp.Fig11SEI(o).String(), nil
+	},
+	"fig12": func(o exp.Options) (string, error) {
+		var sb strings.Builder
+		for _, s := range exp.Fig12(o) {
+			sb.WriteString(s.String())
+			sb.WriteString("\n")
+		}
+		return sb.String(), nil
+	},
+	"appfi": func(o exp.Options) (string, error) {
+		t, err := exp.AppFI(o)
+		if err != nil {
+			return "", err
+		}
+		return t.String(), nil
+	},
+}
+
+// Experiments lists the available experiment ids.
+func Experiments() []string {
+	out := make([]string, 0, len(experimentRunners))
+	for id := range experimentRunners {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Experiment regenerates one of the paper's tables or figures and
+// returns it rendered as text. Valid ids are listed by Experiments.
+func Experiment(id string, opts ExperimentOptions) (string, error) {
+	run, ok := experimentRunners[id]
+	if !ok {
+		return "", fmt.Errorf("haft: unknown experiment %q (have %v)", id, Experiments())
+	}
+	return run(opts)
+}

@@ -1,0 +1,333 @@
+// Package haft is the public API of this reproduction of
+// "HAFT: Hardware-Assisted Fault Tolerance" (Kuvaiskii et al.,
+// EuroSys 2016).
+//
+// HAFT protects unmodified multithreaded programs against transient
+// CPU faults by combining Instruction-Level Redundancy (ILR) for fault
+// detection with Hardware Transactional Memory (HTM) for fault
+// recovery. This repository rebuilds the whole system in Go on top of
+// a simulated substrate: an SSA-style IR and compiler pass framework
+// (standing in for LLVM), an Intel-TSX-like HTM model, a multicore
+// machine with a superscalar timing model, the software fault
+// injector of §4.2, and the CTMC availability model of Figure 5.
+//
+// The facade in this package covers the common flows:
+//
+//	prog, _ := haft.Parse(src)                  // or haft.Benchmark("histogram")
+//	hard, _ := haft.Harden(prog, haft.DefaultConfig())
+//	res := haft.Run(hard, 4)                    // execute on the simulated machine
+//	rep, _ := haft.InjectFaults(hard, 500, 1)   // single-event-upset campaign
+//	text, _ := haft.Experiment("table2", opts)  // regenerate a paper table/figure
+//
+// Lower-level control (custom passes, HTM parameters, machine
+// internals) lives in the internal packages; see DESIGN.md for the map.
+package haft
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/fault"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+	"repro/internal/ycsb"
+)
+
+// Program is a runnable program: a module plus its entry convention.
+type Program struct {
+	// Name identifies the program in reports.
+	Name string
+	prog *workloads.Program
+}
+
+// Mode selects the hardening pipeline.
+type Mode = core.Mode
+
+// Hardening modes.
+const (
+	ModeNative = core.ModeNative
+	ModeILR    = core.ModeILR
+	ModeTX     = core.ModeTX
+	ModeHAFT   = core.ModeHAFT
+)
+
+// OptLevel is the cumulative §3.3 optimization ladder (N/S/C/L/F).
+type OptLevel = core.OptLevel
+
+// Optimization levels.
+const (
+	OptNone        = core.OptNone
+	OptSharedMem   = core.OptSharedMem
+	OptControlFlow = core.OptControlFlow
+	OptLocalCalls  = core.OptLocalCalls
+	OptFaultProp   = core.OptFaultProp
+)
+
+// Config selects mode, optimizations and transaction threshold.
+type Config = core.Config
+
+// DefaultConfig returns full HAFT with every optimization enabled and
+// the default transaction-size threshold.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Parse builds a program from textual IR. The program's entry point is
+// the function named "main" (no arguments), which every thread runs.
+func Parse(src string) (*Program, error) {
+	m, err := ir.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if m.Func("main") == nil {
+		return nil, fmt.Errorf("haft: program has no main function")
+	}
+	if m.Func("main").NParams != 0 {
+		return nil, fmt.Errorf("haft: main must take no parameters")
+	}
+	return &Program{
+		Name: "program",
+		prog: &workloads.Program{Module: m, Entry: "main", TxThreshold: 1000},
+	}, nil
+}
+
+// Benchmark returns one of the paper's evaluation programs by name
+// (histogram, kmeans, kmeans-ns, linearreg, matrixmul, pca,
+// stringmatch, wordcount, wordcount-ns, blackscholes, canneal, dedup,
+// ferret, streamcluster, swaptions, vips, vips-nc, x264) or a case
+// study (memcached, logcabin, apache, leveldb, sqlite). scale >= 1
+// grows the input; 0 selects the smallest input used for fault
+// injection.
+func Benchmark(name string, scale int) (*Program, error) {
+	s, err := workloads.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Name: name, prog: s.Build(scale)}, nil
+}
+
+// Benchmarks lists the Phoenix/PARSEC benchmark names in evaluation
+// order.
+func Benchmarks() []string { return workloads.Names() }
+
+// Memcached builds the §6.1 Memcached-like server: workload "A" (50%
+// reads, zipfian) or "D" (95% reads, latest), synchronized with
+// "atomics" or "locks". requests <= 0 selects the default stream
+// length.
+func Memcached(workload, sync string, requests int) (*Program, error) {
+	var wl ycsb.Workload
+	switch workload {
+	case "A", "a":
+		wl = ycsb.WorkloadA(1024)
+	case "D", "d":
+		wl = ycsb.WorkloadD(1024)
+	default:
+		return nil, fmt.Errorf("haft: unknown YCSB workload %q (want A or D)", workload)
+	}
+	var sm workloads.SyncMode
+	switch sync {
+	case "atomics":
+		sm = workloads.SyncAtomics
+	case "locks":
+		sm = workloads.SyncLocks
+	default:
+		return nil, fmt.Errorf("haft: unknown sync mode %q (want atomics or locks)", sync)
+	}
+	cfg := workloads.DefaultMcConfig(wl, sm)
+	if requests > 0 {
+		cfg.Requests = requests
+	}
+	return &Program{
+		Name: fmt.Sprintf("memcached-%s-%s", workload, sync),
+		prog: workloads.Memcached(cfg),
+	}, nil
+}
+
+// Source returns the program's textual IR.
+func (p *Program) Source() string { return p.prog.Module.String() }
+
+// Harden applies the configured passes and returns the hardened
+// program; the input is unchanged.
+func Harden(p *Program, cfg Config) (*Program, error) {
+	if cfg.TxThreshold == 0 {
+		cfg.TxThreshold = p.prog.TxThreshold
+	}
+	if cfg.Blacklist == nil {
+		cfg.Blacklist = p.prog.Blacklist
+	}
+	mod, err := core.Harden(p.prog.Module, cfg)
+	if err != nil {
+		return nil, err
+	}
+	np := *p.prog
+	np.Module = mod
+	return &Program{Name: p.Name + "+" + cfg.Mode.String(), prog: &np}, nil
+}
+
+// Result summarizes one execution on the simulated machine.
+type Result struct {
+	// Status is "ok", "crashed", "ilr-detected" or "hung".
+	Status string
+	// Output is the externalized output stream.
+	Output []uint64
+	// Cycles is the simulated duration; Seconds converts it at the
+	// 2 GHz clock of the paper's testbed.
+	Cycles  uint64
+	Seconds float64
+	// DynInstrs counts executed instructions.
+	DynInstrs uint64
+	// AbortRate is the percentage of hardware transactions aborted.
+	AbortRate float64
+	// Coverage is the fraction of busy cycles spent inside
+	// transactions (the §5.6 metric), in percent.
+	Coverage float64
+	// Recovered counts transaction rollbacks triggered by ILR checks
+	// that re-executed successfully.
+	Recovered uint64
+	// CrashReason explains a "crashed" status.
+	CrashReason string
+}
+
+// Run executes the program on a machine with the given number of
+// threads/cores and returns the result.
+func Run(p *Program, threads int) Result {
+	mach := vm.New(p.prog.Module.Clone(), threads, vm.DefaultConfig())
+	mach.Run(p.prog.SpecsFor(threads)...)
+	st := mach.Stats()
+	return Result{
+		Status:      mach.Status().String(),
+		Output:      mach.Output(),
+		Cycles:      st.Cycles,
+		Seconds:     cpu.CyclesToSeconds(st.Cycles),
+		DynInstrs:   st.DynInstrs,
+		AbortRate:   mach.HTM.Stats.AbortRate(),
+		Coverage:    100 * mach.Coverage(),
+		Recovered:   st.Recovered,
+		CrashReason: st.CrashReason,
+	}
+}
+
+// TraceEvent is one executed register-writing instruction from an
+// execution trace — the reference-run side of the two-step fault
+// injection protocol (§4.2).
+type TraceEvent struct {
+	Index       uint64
+	Core        int
+	Func, Block string
+	Op          string
+	Value       uint64
+	Cycle       uint64
+}
+
+// Trace runs the program and returns the result plus the first max
+// trace events (max <= 0 collects everything; beware of memory on
+// long runs).
+func Trace(p *Program, threads, max int) (Result, []TraceEvent) {
+	mach := vm.New(p.prog.Module.Clone(), threads, vm.DefaultConfig())
+	var events []TraceEvent
+	mach.SetTracer(func(ev vm.TraceEvent) {
+		if max > 0 && len(events) >= max {
+			return
+		}
+		events = append(events, TraceEvent{
+			Index: ev.Index, Core: ev.Core,
+			Func: ev.Func, Block: ev.Block,
+			Op: ev.Op.String(), Value: ev.Value, Cycle: ev.Cycle,
+		})
+	})
+	mach.Run(p.prog.SpecsFor(threads)...)
+	st := mach.Stats()
+	return Result{
+		Status:      mach.Status().String(),
+		Output:      mach.Output(),
+		Cycles:      st.Cycles,
+		Seconds:     cpu.CyclesToSeconds(st.Cycles),
+		DynInstrs:   st.DynInstrs,
+		AbortRate:   mach.HTM.Stats.AbortRate(),
+		Coverage:    100 * mach.Coverage(),
+		Recovered:   st.Recovered,
+		CrashReason: st.CrashReason,
+	}, events
+}
+
+// FaultReport aggregates a single-event-upset campaign (Table 1
+// outcomes).
+type FaultReport struct {
+	Injections int
+	// Percentages per Table 1 outcome.
+	Hang, OSDetected, ILRDetected, Corrected, Masked, SDC float64
+	// Class totals.
+	Crashed, Correct, Corrupted float64
+}
+
+// InjectFaults runs n single-fault injections against the program with
+// two threads (the paper's fault-injection configuration) and
+// classifies every outcome.
+func InjectFaults(p *Program, n int, seed int64) (FaultReport, error) {
+	tg := &fault.Target{
+		Name:    p.Name,
+		Module:  p.prog.Module,
+		Threads: 2,
+		VM:      vm.DefaultConfig(),
+		Specs:   p.prog.SpecsFor(2),
+	}
+	res, err := fault.Campaign(tg, n, seed)
+	if err != nil {
+		return FaultReport{}, err
+	}
+	return FaultReport{
+		Injections:  res.Total,
+		Hang:        res.Rate(fault.OutcomeHang),
+		OSDetected:  res.Rate(fault.OutcomeOSDetected),
+		ILRDetected: res.Rate(fault.OutcomeILRDetected),
+		Corrected:   res.Rate(fault.OutcomeHAFTCorrected),
+		Masked:      res.Rate(fault.OutcomeMasked),
+		SDC:         res.Rate(fault.OutcomeSDC),
+		Crashed:     res.ClassRate(fault.ClassCrashed),
+		Correct:     res.ClassRate(fault.ClassCorrect),
+		Corrupted:   res.ClassRate(fault.ClassCorrupted),
+	}, nil
+}
+
+// String renders the report like a Figure 9 bar.
+func (r FaultReport) String() string {
+	return fmt.Sprintf(
+		"injections=%d crashed=%.1f%% (hang %.1f, os %.1f, ilr %.1f) correct=%.1f%% (corrected %.1f, masked %.1f) corrupted=%.1f%%",
+		r.Injections, r.Crashed, r.Hang, r.OSDetected, r.ILRDetected,
+		r.Correct, r.Corrected, r.Masked, r.Corrupted)
+}
+
+// Stats returns the static instrumentation statistics of a (hardened)
+// program, in an LLVM -stats style block.
+func Stats(p *Program) string {
+	return core.CollectStats(p.prog.Module).String()
+}
+
+// Expansion returns hardened's static instruction count relative to
+// base's — the code-growth factor of the passes.
+func Expansion(base, hardened *Program) float64 {
+	return core.CollectStats(hardened.prog.Module).
+		Expansion(base.prog.Module.NumInstrs())
+}
+
+// CompileSource compiles a program written in the C-flavored source
+// language (package lang) down to IR and returns it as a Program.
+// The entry point is main(); every thread runs it.
+func CompileSource(src string) (*Program, error) {
+	m, err := lang.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	f := m.Func("main")
+	if f == nil {
+		return nil, fmt.Errorf("haft: source has no main function")
+	}
+	if f.NParams != 0 {
+		return nil, fmt.Errorf("haft: main must take no parameters")
+	}
+	return &Program{
+		Name: "program",
+		prog: &workloads.Program{Module: m, Entry: "main", TxThreshold: 1000},
+	}, nil
+}

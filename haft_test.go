@@ -1,0 +1,217 @@
+package haft
+
+import (
+	"strings"
+	"testing"
+)
+
+const tinyProg = `
+global g bytes=8
+func main(0) {
+entry:
+  jmp loop
+loop:
+  v0 = phi #0 [entry], v1 [loop]
+  v1 = add v0, #3
+  v2 = cmp lt v1, #300
+  br v2, loop, done
+done:
+  store #4096, v1
+  v3 = load #4096
+  out v3
+  ret
+}
+`
+
+func TestParseRejectsBadPrograms(t *testing.T) {
+	if _, err := Parse("func f(0) {\nentry:\n  ret\n}"); err == nil {
+		t.Error("Parse accepted a program without main")
+	}
+	if _, err := Parse("func main(2) {\nentry:\n  ret\n}"); err == nil {
+		t.Error("Parse accepted a main with parameters")
+	}
+	if _, err := Parse("not ir at all"); err == nil {
+		t.Error("Parse accepted garbage")
+	}
+}
+
+func TestHardenRunRoundTrip(t *testing.T) {
+	prog, err := Parse(tinyProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	native := Run(prog, 1)
+	if native.Status != "ok" || len(native.Output) != 1 || native.Output[0] != 300 {
+		t.Fatalf("native: %+v", native)
+	}
+	for _, mode := range []Mode{ModeILR, ModeTX, ModeHAFT} {
+		cfg := DefaultConfig()
+		cfg.Mode = mode
+		hard, err := Harden(prog, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := Run(hard, 1)
+		if res.Status != "ok" || res.Output[0] != 300 {
+			t.Fatalf("%v: %+v", mode, res)
+		}
+		if mode != ModeTX && res.DynInstrs <= native.DynInstrs {
+			t.Errorf("%v executed no extra instructions", mode)
+		}
+	}
+}
+
+func TestBenchmarkLookup(t *testing.T) {
+	if len(Benchmarks()) != 18 {
+		t.Fatalf("Benchmarks() = %d names", len(Benchmarks()))
+	}
+	if _, err := Benchmark("histogram", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Benchmark("memcached", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Benchmark("nope", 0); err == nil {
+		t.Fatal("Benchmark accepted unknown name")
+	}
+}
+
+func TestInjectFaultsReport(t *testing.T) {
+	prog, err := Parse(tinyProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard, err := Harden(prog, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := InjectFaults(hard, 60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Injections != 60 {
+		t.Fatalf("injections = %d", rep.Injections)
+	}
+	total := rep.Crashed + rep.Correct + rep.Corrupted
+	if total < 99.9 || total > 100.1 {
+		t.Fatalf("classes sum to %v", total)
+	}
+	if rep.Corrected == 0 {
+		t.Error("HAFT corrected nothing on the tiny program")
+	}
+	if !strings.Contains(rep.String(), "corrected") {
+		t.Error("report string malformed")
+	}
+}
+
+func TestMemcachedFacade(t *testing.T) {
+	p, err := Memcached("A", "locks", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(p, 2)
+	if res.Status != "ok" {
+		t.Fatalf("memcached run: %+v", res)
+	}
+	if _, err := Memcached("Z", "locks", 0); err == nil {
+		t.Error("accepted unknown workload")
+	}
+	if _, err := Memcached("A", "spin", 0); err == nil {
+		t.Error("accepted unknown sync mode")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := Experiments()
+	want := []string{"fig6", "table2", "fig7", "fig8", "table3", "fig9",
+		"fig9opts", "table4", "fig10", "fig11", "fig11sei", "fig12", "appfi"}
+	for _, w := range want {
+		found := false
+		for _, id := range ids {
+			if id == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("experiment %q missing from registry", w)
+		}
+	}
+	if _, err := Experiment("nope", DefaultExperimentOptions()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestExperimentFig10RunsQuickly(t *testing.T) {
+	out, err := Experiment("fig10", DefaultExperimentOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "availability") || !strings.Contains(out, "HAFT") {
+		t.Fatalf("fig10 output malformed:\n%s", out)
+	}
+}
+
+func TestExperimentTable2Subset(t *testing.T) {
+	opts := DefaultExperimentOptions()
+	opts.Benchmarks = []string{"histogram"}
+	opts.PerfThreads = 4
+	out, err := Experiment("table2", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "histogram") || !strings.Contains(out, "mean") {
+		t.Fatalf("table2 output malformed:\n%s", out)
+	}
+}
+
+func TestTraceFacade(t *testing.T) {
+	prog, err := Parse(tinyProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, events := Trace(prog, 1, 10)
+	if res.Status != "ok" {
+		t.Fatalf("status %s", res.Status)
+	}
+	if len(events) != 10 {
+		t.Fatalf("events = %d, want 10 (capped)", len(events))
+	}
+	for i, ev := range events {
+		if ev.Index != uint64(i) {
+			t.Fatalf("event %d has index %d", i, ev.Index)
+		}
+		if ev.Func != "main" || ev.Op == "" {
+			t.Fatalf("event %d = %+v", i, ev)
+		}
+	}
+	// Uncapped trace covers every register write of the run.
+	_, all := Trace(prog, 1, 0)
+	if uint64(len(all)) != res.DynInstrs && len(all) == 0 {
+		t.Fatal("uncapped trace empty")
+	}
+}
+
+// TestExperimentRunnersSmoke exercises every registered experiment at
+// a tiny scale so the whole registry stays runnable.
+func TestExperimentRunnersSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	opts := DefaultExperimentOptions()
+	opts.Benchmarks = []string{"histogram"}
+	opts.Threads = []int{1, 2}
+	opts.PerfThreads = 2
+	opts.Injections = 5
+	for _, id := range Experiments() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			out, err := Experiment(id, opts)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if len(out) < 40 {
+				t.Fatalf("%s produced implausibly small output:\n%s", id, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,311 @@
+// Package cfg provides control-flow-graph analyses over the IR:
+// successor/predecessor maps, reverse postorder, dominator trees
+// (Cooper-Harvey-Kennedy), natural loop detection, and the
+// longest-path computation the TX pass uses to bound transaction
+// sizes at loop latches (§3.2 of the HAFT paper).
+package cfg
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Graph caches the CFG structure of one function.
+type Graph struct {
+	F     *ir.Func
+	Succs [][]int
+	Preds [][]int
+	// RPO is a reverse postorder over blocks reachable from the entry;
+	// RPONum[b] is the position of block b in RPO (or -1 if
+	// unreachable).
+	RPO    []int
+	RPONum []int
+	// IDom[b] is the immediate dominator of block b (-1 for the entry
+	// and unreachable blocks).
+	IDom []int
+}
+
+// New builds the CFG for f.
+func New(f *ir.Func) *Graph {
+	n := len(f.Blocks)
+	g := &Graph{
+		F:     f,
+		Succs: make([][]int, n),
+		Preds: make([][]int, n),
+	}
+	for bi, b := range f.Blocks {
+		t := b.Terminator()
+		if t == nil {
+			continue
+		}
+		for _, s := range t.Blocks {
+			g.Succs[bi] = append(g.Succs[bi], s)
+			g.Preds[s] = append(g.Preds[s], bi)
+		}
+	}
+	g.computeRPO()
+	g.computeDominators()
+	return g
+}
+
+func (g *Graph) computeRPO() {
+	n := len(g.F.Blocks)
+	seen := make([]bool, n)
+	post := make([]int, 0, n)
+	// Iterative DFS from entry (block 0).
+	type frame struct{ b, next int }
+	stack := []frame{{0, 0}}
+	seen[0] = true
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.next < len(g.Succs[top.b]) {
+			s := g.Succs[top.b][top.next]
+			top.next++
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, frame{s, 0})
+			}
+			continue
+		}
+		post = append(post, top.b)
+		stack = stack[:len(stack)-1]
+	}
+	g.RPO = make([]int, len(post))
+	for i := range post {
+		g.RPO[i] = post[len(post)-1-i]
+	}
+	g.RPONum = make([]int, n)
+	for i := range g.RPONum {
+		g.RPONum[i] = -1
+	}
+	for i, b := range g.RPO {
+		g.RPONum[b] = i
+	}
+}
+
+// computeDominators implements the Cooper-Harvey-Kennedy iterative
+// dominator algorithm over the reverse postorder.
+func (g *Graph) computeDominators() {
+	n := len(g.F.Blocks)
+	g.IDom = make([]int, n)
+	for i := range g.IDom {
+		g.IDom[i] = -1
+	}
+	if n == 0 {
+		return
+	}
+	g.IDom[0] = 0
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range g.RPO {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range g.Preds[b] {
+				if g.IDom[p] == -1 {
+					continue // not yet processed / unreachable
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = g.intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && g.IDom[b] != newIdom {
+				g.IDom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	// By convention the entry has no immediate dominator.
+	g.IDom[0] = -1
+}
+
+func (g *Graph) intersect(a, b int) int {
+	for a != b {
+		for g.RPONum[a] > g.RPONum[b] {
+			a = g.IDom[a]
+		}
+		for g.RPONum[b] > g.RPONum[a] {
+			b = g.IDom[b]
+		}
+	}
+	return a
+}
+
+// Dominates reports whether block a dominates block b (reflexive).
+func (g *Graph) Dominates(a, b int) bool {
+	if a == b {
+		return true
+	}
+	for b != 0 && g.IDom[b] != -1 {
+		b = g.IDom[b]
+		if b == a {
+			return true
+		}
+		if b == 0 {
+			break
+		}
+	}
+	return a == 0 && g.RPONum[b] >= 0
+}
+
+// Reachable reports whether block b is reachable from the entry.
+func (g *Graph) Reachable(b int) bool { return g.RPONum[b] >= 0 }
+
+// Loop describes a natural loop.
+type Loop struct {
+	Header int
+	// Latches are the blocks with a back edge to the header.
+	Latches []int
+	// Blocks is the loop body including header and latches, sorted.
+	Blocks []int
+	// Parent is the index (in Graph.Loops' result) of the innermost
+	// enclosing loop, or -1.
+	Parent int
+	// Depth is the nesting depth, 1 for outermost loops.
+	Depth int
+}
+
+// Contains reports whether block b belongs to the loop.
+func (l *Loop) Contains(b int) bool {
+	i := sort.SearchInts(l.Blocks, b)
+	return i < len(l.Blocks) && l.Blocks[i] == b
+}
+
+// Loops finds all natural loops of the function. A back edge is an
+// edge b->h where h dominates b. Loops sharing a header are merged.
+// The result is sorted by header RPO number (outer loops first), and
+// Parent/Depth describe the nesting forest.
+func (g *Graph) Loops() []*Loop {
+	byHeader := make(map[int]*Loop)
+	for _, b := range g.RPO {
+		for _, h := range g.Succs[b] {
+			if !g.Dominates(h, b) {
+				continue
+			}
+			l := byHeader[h]
+			if l == nil {
+				l = &Loop{Header: h, Parent: -1}
+				byHeader[h] = l
+			}
+			l.Latches = append(l.Latches, b)
+			// Collect the body: all blocks that can reach the latch
+			// without passing through the header.
+			body := map[int]bool{h: true, b: true}
+			work := []int{b}
+			for len(work) > 0 {
+				x := work[len(work)-1]
+				work = work[:len(work)-1]
+				if x == h {
+					continue
+				}
+				for _, p := range g.Preds[x] {
+					if !body[p] && g.Reachable(p) {
+						body[p] = true
+						work = append(work, p)
+					}
+				}
+			}
+			for blk := range body {
+				l.Blocks = insertSorted(l.Blocks, blk)
+			}
+		}
+	}
+	loops := make([]*Loop, 0, len(byHeader))
+	for _, l := range byHeader {
+		loops = append(loops, l)
+	}
+	sort.Slice(loops, func(i, j int) bool {
+		return g.RPONum[loops[i].Header] < g.RPONum[loops[j].Header]
+	})
+	// Nesting: loop i is nested in loop j if j contains i's header and
+	// i != j. Choose the smallest containing loop as parent.
+	for i, li := range loops {
+		best, bestSize := -1, 1<<31-1
+		for j, lj := range loops {
+			if i == j || !lj.Contains(li.Header) {
+				continue
+			}
+			if len(lj.Blocks) < bestSize && lj.Header != li.Header {
+				best, bestSize = j, len(lj.Blocks)
+			}
+		}
+		li.Parent = best
+	}
+	for _, l := range loops {
+		d := 1
+		for p := l.Parent; p != -1; p = loops[p].Parent {
+			d++
+		}
+		l.Depth = d
+	}
+	return loops
+}
+
+func insertSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	if i < len(s) && s[i] == v {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// LongestPathToLatch computes, for the given loop, the maximum number
+// of instructions executed on any acyclic path from the loop header to
+// the given latch block (inclusive of both). The TX pass uses this as
+// a conservative per-iteration instruction-count increment: it is the
+// worst case over all paths through the loop body (§3.2).
+//
+// Back edges and exits are ignored; the loop body restricted this way
+// is a DAG, so a DP over reverse postorder suffices.
+func (g *Graph) LongestPathToLatch(l *Loop, latch int) int {
+	// dist[b] = longest instruction count from header to end of b.
+	dist := make(map[int]int)
+	dist[l.Header] = len(g.F.Blocks[l.Header].Instrs)
+	for _, b := range g.RPO {
+		if !l.Contains(b) {
+			continue
+		}
+		db, ok := dist[b]
+		if !ok {
+			continue
+		}
+		for _, s := range g.Succs[b] {
+			if s == l.Header || !l.Contains(s) {
+				continue // back edge or exit
+			}
+			cand := db + len(g.F.Blocks[s].Instrs)
+			if cur, ok := dist[s]; !ok || cand > cur {
+				dist[s] = cand
+			}
+		}
+	}
+	if d, ok := dist[latch]; ok {
+		return d
+	}
+	return len(g.F.Blocks[l.Header].Instrs)
+}
+
+// InnermostLoops returns the loops that contain no other loop.
+func InnermostLoops(loops []*Loop) []*Loop {
+	hasChild := make([]bool, len(loops))
+	for _, l := range loops {
+		if l.Parent >= 0 {
+			hasChild[l.Parent] = true
+		}
+	}
+	var out []*Loop
+	for i, l := range loops {
+		if !hasChild[i] {
+			out = append(out, l)
+		}
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+// Package core composes HAFT's two compiler passes — ILR for fault
+// detection and TX for fault recovery — into the hardening pipeline
+// described in §3 and §4.1 of the paper: ILR is applied first,
+// replicating the data flow and inserting checks, and TX is applied
+// second, covering the program with hardware transactions and turning
+// check failures into transaction aborts.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ilr"
+	"repro/internal/ir"
+	"repro/internal/opt"
+	"repro/internal/tx"
+)
+
+// Mode selects which passes run, mirroring the configurations compared
+// throughout the evaluation (Table 2, Figure 9).
+type Mode uint8
+
+const (
+	// ModeNative applies no hardening.
+	ModeNative Mode = iota
+	// ModeILR applies only instruction-level redundancy: faults are
+	// detected and the program fail-stops.
+	ModeILR
+	// ModeTX applies only transactification (no detection); used to
+	// measure the TX component's overhead in Table 2.
+	ModeTX
+	// ModeHAFT applies ILR followed by TX: detection plus recovery.
+	ModeHAFT
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeNative:
+		return "native"
+	case ModeILR:
+		return "ilr"
+	case ModeTX:
+		return "tx"
+	case ModeHAFT:
+		return "haft"
+	}
+	return "mode?"
+}
+
+// OptLevel is the cumulative optimization ladder of Figure 7 and
+// Figure 9 (right): each level adds one §3.3 optimization to the
+// previous one.
+type OptLevel uint8
+
+const (
+	// OptNone: no §3.3 optimizations.
+	OptNone OptLevel = iota
+	// OptSharedMem: + ILR shared-memory access scheme (Figure 3b).
+	OptSharedMem
+	// OptControlFlow: + ILR shadow-block branch protection (Figure 4b).
+	OptControlFlow
+	// OptLocalCalls: + TX local-function-call optimization.
+	OptLocalCalls
+	// OptFaultProp: + ILR/TX fault propagation check (the full HAFT).
+	OptFaultProp
+)
+
+// String returns the short label used in the paper's figures
+// (N/S/C/L/F).
+func (o OptLevel) String() string {
+	switch o {
+	case OptNone:
+		return "N"
+	case OptSharedMem:
+		return "S"
+	case OptControlFlow:
+		return "C"
+	case OptLocalCalls:
+		return "L"
+	case OptFaultProp:
+		return "F"
+	}
+	return "?"
+}
+
+// OptLevels lists the ladder in order.
+func OptLevels() []OptLevel {
+	return []OptLevel{OptNone, OptSharedMem, OptControlFlow, OptLocalCalls, OptFaultProp}
+}
+
+// Config selects the hardening applied by Harden.
+type Config struct {
+	Mode Mode
+	// Opt is the cumulative optimization level (default OptFaultProp,
+	// i.e. everything on).
+	Opt OptLevel
+	// TxThreshold is the transaction-size threshold in instructions
+	// (Figure 8 sweeps it; default 1000).
+	TxThreshold int64
+	// LockElision enables the lock-elision wrappers (§3.3; evaluated
+	// on Memcached in §6.1).
+	LockElision bool
+	// Blacklist names externally-called functions exempted from the
+	// local-call optimization (§3.3).
+	Blacklist map[string]bool
+	// Optimize runs the standard scalar optimizations (package opt)
+	// before the hardening passes, mirroring the paper's build flow
+	// where LLVM -O3 runs on the bitcode first (§4.1).
+	Optimize bool
+}
+
+// DefaultConfig returns full HAFT with all optimizations.
+func DefaultConfig() Config {
+	return Config{Mode: ModeHAFT, Opt: OptFaultProp, TxThreshold: 1000}
+}
+
+// ilrOptions maps an OptLevel onto the ILR pass switches.
+func ilrOptions(o OptLevel) ilr.Options {
+	return ilr.Options{
+		SharedMem:   o >= OptSharedMem,
+		ControlFlow: o >= OptControlFlow,
+		FaultProp:   o >= OptFaultProp,
+		Peephole:    true,
+	}
+}
+
+// txOptions maps the config onto the TX pass switches.
+func txOptions(c Config) tx.Options {
+	return tx.Options{
+		Threshold:   c.TxThreshold,
+		LocalCalls:  c.Opt >= OptLocalCalls,
+		LockElision: c.LockElision,
+		Blacklist:   c.Blacklist,
+		Peephole:    true,
+	}
+}
+
+// Harden clones the module, applies the configured passes, verifies
+// the result and returns it. The input module is left untouched (it
+// remains the native baseline).
+func Harden(m *ir.Module, cfg Config) (*ir.Module, error) {
+	out := m.Clone()
+	if cfg.Optimize {
+		opt.Apply(out)
+		if err := ir.Verify(out); err != nil {
+			return nil, fmt.Errorf("core: optimized module fails verification: %w", err)
+		}
+	}
+	switch cfg.Mode {
+	case ModeNative:
+	case ModeILR:
+		ilr.Apply(out, ilrOptions(cfg.Opt))
+	case ModeTX:
+		tx.Apply(out, txOptions(cfg))
+	case ModeHAFT:
+		ilr.Apply(out, ilrOptions(cfg.Opt))
+		tx.Apply(out, txOptions(cfg))
+	default:
+		return nil, fmt.Errorf("core: unknown mode %d", cfg.Mode)
+	}
+	if err := ir.Verify(out); err != nil {
+		return nil, fmt.Errorf("core: hardened module fails verification: %w", err)
+	}
+	return out, nil
+}
+
+// MustHarden is Harden that panics on error, for tests and fixtures.
+func MustHarden(m *ir.Module, cfg Config) *ir.Module {
+	out, err := Harden(m, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}

@@ -1,0 +1,383 @@
+package core
+
+// Property-based differential testing: generate random structured
+// programs (arithmetic, memory traffic, nested loops, branches, local
+// calls) and check that every hardening pipeline preserves their
+// output exactly, and that fault injection never produces undetected
+// control-flow escapes (crash/hang are acceptable outcomes, silent
+// wrong output of the *hardened* run must stay rare).
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// progGen builds a random but well-formed program.
+type progGen struct {
+	rng   *rand.Rand
+	fb    *ir.FuncBuilder
+	vals  []ir.ValueID // defined integer values usable as operands
+	base  uint64       // global array base
+	words int64        // global array length in words
+	loops int
+	depth int
+	blk   int // unique block-name counter
+}
+
+func (g *progGen) blockName(prefix string) string {
+	g.blk++
+	return prefix + itoa(g.blk)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func (g *progGen) operand() ir.Operand {
+	if len(g.vals) == 0 || g.rng.Intn(4) == 0 {
+		return ir.ConstInt(int64(g.rng.Intn(2000) - 1000))
+	}
+	return ir.Reg(g.vals[g.rng.Intn(len(g.vals))])
+}
+
+// inBoundsAddr emits an address guaranteed to fall inside the global
+// array: base + (x & (words-1))*8, with words a power of two.
+func (g *progGen) inBoundsAddr() ir.ValueID {
+	x := g.operand()
+	masked := g.fb.And(x, ir.ConstInt(g.words-1))
+	off := g.fb.Shl(ir.Reg(masked), ir.ConstInt(3))
+	return g.fb.Add(ir.ConstUint(g.base), ir.Reg(off))
+}
+
+func (g *progGen) emitArith() {
+	fb := g.fb
+	var v ir.ValueID
+	switch g.rng.Intn(8) {
+	case 0:
+		v = fb.Add(g.operand(), g.operand())
+	case 1:
+		v = fb.Sub(g.operand(), g.operand())
+	case 2:
+		v = fb.Mul(g.operand(), g.operand())
+	case 3:
+		v = fb.Xor(g.operand(), g.operand())
+	case 4:
+		v = fb.And(g.operand(), g.operand())
+	case 5:
+		v = fb.Shr(g.operand(), ir.ConstInt(int64(g.rng.Intn(63))))
+	case 6:
+		// Division guarded against zero: or the divisor with 1.
+		d := fb.Or(g.operand(), ir.ConstInt(1))
+		v = fb.Div(g.operand(), ir.Reg(d))
+	case 7:
+		v = fb.Select(g.operand(), g.operand(), g.operand())
+	}
+	g.vals = append(g.vals, v)
+}
+
+func (g *progGen) emitMemory() {
+	fb := g.fb
+	if g.rng.Intn(2) == 0 {
+		a := g.inBoundsAddr()
+		v := fb.Load(ir.Reg(a))
+		g.vals = append(g.vals, v)
+	} else {
+		a := g.inBoundsAddr()
+		fb.Store(ir.Reg(a), g.operand())
+	}
+}
+
+// emitIf creates a structured if/else; both arms define values that
+// are NOT visible afterwards (no phi merging needed).
+func (g *progGen) emitIf() {
+	fb := g.fb
+	cond := fb.Cmp(ir.Pred(g.rng.Intn(6)), g.operand(), g.operand())
+	then := fb.Block(g.blockName("t"))
+	els := fb.Block(g.blockName("e"))
+	join := fb.Block(g.blockName("j"))
+	fb.Br(ir.Reg(cond), then, els)
+	saved := len(g.vals)
+	fb.SetBlock(then)
+	g.emitSeq(g.depth + 1)
+	g.vals = g.vals[:saved]
+	fb.Jmp(join)
+	fb.SetBlock(els)
+	g.emitSeq(g.depth + 1)
+	g.vals = g.vals[:saved]
+	fb.Jmp(join)
+	fb.SetBlock(join)
+}
+
+// emitLoop creates a bounded counted loop whose body is a random
+// sequence; values defined in the body stay local to it.
+func (g *progGen) emitLoop() {
+	if g.loops >= 4 {
+		g.emitArith()
+		return
+	}
+	g.loops++
+	fb := g.fb
+	n := int64(g.rng.Intn(12) + 2)
+	head := fb.Block(g.blockName("h"))
+	body := fb.Block(g.blockName("b"))
+	exit := fb.Block(g.blockName("x"))
+	pre := fb.CurBlock()
+	fb.Jmp(head)
+	fb.SetBlock(head)
+	i := fb.Phi([]int{pre, pre}, []ir.Operand{ir.ConstInt(0), ir.ConstInt(0)})
+	c := fb.Cmp(ir.PredLT, ir.Reg(i), ir.ConstInt(n))
+	fb.Br(ir.Reg(c), body, exit)
+	fb.SetBlock(body)
+	saved := len(g.vals)
+	g.vals = append(g.vals, i)
+	g.emitSeq(g.depth + 1)
+	g.vals = g.vals[:saved]
+	latch := fb.CurBlock()
+	inext := fb.Add(ir.Reg(i), ir.ConstInt(1))
+	fb.Jmp(head)
+	phi := &fb.Func().Blocks[head].Instrs[0]
+	phi.PhiPreds[1] = latch
+	phi.Args[1] = ir.Reg(inext)
+	fb.SetBlock(exit)
+}
+
+func (g *progGen) emitSeq(depth int) {
+	g.depth = depth
+	steps := g.rng.Intn(6) + 1
+	for s := 0; s < steps; s++ {
+		switch r := g.rng.Intn(10); {
+		case r < 4:
+			g.emitArith()
+		case r < 7:
+			g.emitMemory()
+		case r < 9 && depth < 3:
+			g.emitIf()
+		default:
+			if depth < 3 {
+				g.emitLoop()
+			} else {
+				g.emitArith()
+			}
+		}
+		g.depth = depth
+	}
+}
+
+// randomProgram builds a module whose main mutates a global array and
+// externalizes a checksum.
+func randomProgram(seed int64) *ir.Module {
+	rng := rand.New(rand.NewSource(seed))
+	m := ir.NewModule()
+	const words = 64
+	arr := m.AddGlobal("arr", words*8)
+	arr.Align = 64
+	m.Layout()
+
+	// A small local helper function, so call handling is exercised.
+	hb := ir.NewFuncBuilder("helper", 1)
+	he := hb.Block("entry")
+	hb.SetBlock(he)
+	h1 := hb.Mul(ir.Reg(hb.Param(0)), ir.ConstInt(37))
+	h2 := hb.Xor(ir.Reg(h1), ir.ConstInt(0x5bd1e995))
+	hb.Ret(ir.Reg(h2))
+	hf := hb.Done()
+	hf.Attrs.Local = true
+	m.AddFunc(hf)
+
+	fb := ir.NewFuncBuilder("main", 0)
+	entry := fb.Block("entry")
+	fb.SetBlock(entry)
+	g := &progGen{rng: rng, fb: fb, base: arr.Addr, words: words}
+	// Seed a few values, including a helper call.
+	v0 := fb.Add(ir.ConstInt(int64(seed)), ir.ConstInt(17))
+	v1 := fb.Call("helper", ir.Reg(v0))
+	g.vals = append(g.vals, v0, v1)
+	g.emitSeq(0)
+
+	// Checksum the array and emit it.
+	sumA := fb.FrameAddr(fb.Alloca(8))
+	fb.Store(ir.Reg(sumA), ir.ConstInt(0))
+	head := fb.Block("ckh")
+	body := fb.Block("ckb")
+	exit := fb.Block("ckx")
+	pre := fb.CurBlock()
+	fb.Jmp(head)
+	fb.SetBlock(head)
+	i := fb.Phi([]int{pre, pre}, []ir.Operand{ir.ConstInt(0), ir.ConstInt(0)})
+	c := fb.Cmp(ir.PredLT, ir.Reg(i), ir.ConstInt(words))
+	fb.Br(ir.Reg(c), body, exit)
+	fb.SetBlock(body)
+	off := fb.Shl(ir.Reg(i), ir.ConstInt(3))
+	a := fb.Add(ir.ConstUint(arr.Addr), ir.Reg(off))
+	v := fb.Load(ir.Reg(a))
+	acc := fb.Load(ir.Reg(sumA))
+	mx := fb.Mul(ir.Reg(acc), ir.ConstInt(31))
+	ns := fb.Add(ir.Reg(mx), ir.Reg(v))
+	fb.Store(ir.Reg(sumA), ir.Reg(ns))
+	inext := fb.Add(ir.Reg(i), ir.ConstInt(1))
+	fb.Jmp(head)
+	phi := &fb.Func().Blocks[head].Instrs[0]
+	phi.PhiPreds[1] = fb.CurBlock()
+	phi.Args[1] = ir.Reg(inext)
+	fb.SetBlock(exit)
+	final := fb.Load(ir.Reg(sumA))
+	fb.Out(ir.Reg(final))
+	fb.Ret()
+	m.AddFunc(fb.Done())
+	return m
+}
+
+func quietVM() vm.Config {
+	cfg := vm.DefaultConfig()
+	cfg.HTM.SpontaneousPerAccessMicro = 0
+	cfg.HTM.InterruptPeriod = 0
+	cfg.HTM.MaxCycles = 0
+	return cfg
+}
+
+func TestRandomProgramsPreservedByAllPipelines(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 10
+	}
+	for seed := 0; seed < seeds; seed++ {
+		m := randomProgram(int64(seed))
+		if err := ir.Verify(m); err != nil {
+			t.Fatalf("seed %d: generator produced invalid IR: %v", seed, err)
+		}
+		ref := vm.New(m.Clone(), 1, quietVM())
+		ref.Run(vm.ThreadSpec{Func: "main"})
+		if ref.Status() != vm.StatusOK {
+			t.Fatalf("seed %d: native run %v (%s)", seed, ref.Status(), ref.Stats().CrashReason)
+		}
+		want := ref.Output()
+		for _, mode := range []Mode{ModeILR, ModeTX, ModeHAFT} {
+			for _, opt := range []OptLevel{OptNone, OptSharedMem, OptControlFlow, OptFaultProp} {
+				cfg := Config{Mode: mode, Opt: opt, TxThreshold: 200}
+				h, err := Harden(m, cfg)
+				if err != nil {
+					t.Fatalf("seed %d %v/%v: %v", seed, mode, opt, err)
+				}
+				mach := vm.New(h, 1, quietVM())
+				mach.Run(vm.ThreadSpec{Func: "main"})
+				if mach.Status() != vm.StatusOK {
+					t.Fatalf("seed %d %v/%v: %v (%s)\n%s",
+						seed, mode, opt, mach.Status(), mach.Stats().CrashReason, h.Func("main"))
+				}
+				got := mach.Output()
+				if len(got) != len(want) || got[0] != want[0] {
+					t.Fatalf("seed %d %v/%v: output %v, want %v", seed, mode, opt, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRandomProgramsFaultInjection checks the safety property on
+// random programs: under single-fault injection, a HAFT build must
+// essentially never emit silently corrupted output.
+func TestRandomProgramsFaultInjection(t *testing.T) {
+	seeds := 12
+	trialsPer := 25
+	if testing.Short() {
+		seeds, trialsPer = 4, 10
+	}
+	rng := rand.New(rand.NewSource(99))
+	var sdc, total int
+	for seed := 0; seed < seeds; seed++ {
+		m := randomProgram(int64(seed))
+		h := MustHarden(m, DefaultConfig())
+		ref := vm.New(h.Clone(), 1, quietVM())
+		ref.Run(vm.ThreadSpec{Func: "main"})
+		if ref.Status() != vm.StatusOK {
+			t.Fatalf("seed %d: reference run failed", seed)
+		}
+		pop := ref.Stats().RegWrites
+		want := append([]uint64(nil), ref.Output()...)
+		for k := 0; k < trialsPer; k++ {
+			mach := vm.New(h.Clone(), 1, quietVM())
+			mach.Cfg.MaxDynInstrs = ref.Stats().DynInstrs*10 + 10000
+			mach.SetFaultPlan(&vm.FaultPlan{
+				TargetIndex: uint64(rng.Int63n(int64(pop))),
+				Mask:        1 << uint(rng.Intn(64)),
+			})
+			mach.Run(vm.ThreadSpec{Func: "main"})
+			total++
+			if mach.Status() != vm.StatusOK {
+				continue // detected or crashed: safe outcomes
+			}
+			got := mach.Output()
+			if len(got) != len(want) || got[0] != want[0] {
+				sdc++
+			}
+		}
+	}
+	rate := 100 * float64(sdc) / float64(total)
+	t.Logf("random-program SDC rate under HAFT: %.1f%% (%d/%d)", rate, sdc, total)
+	if rate > 5 {
+		t.Fatalf("SDC rate %.1f%% too high for hardened programs", rate)
+	}
+}
+
+// TestRandomProgramsTextRoundTrip checks that the textual IR format is
+// lossless on generator output, including after hardening.
+func TestRandomProgramsTextRoundTrip(t *testing.T) {
+	for seed := 0; seed < 25; seed++ {
+		for _, mod := range []*ir.Module{
+			randomProgram(int64(seed)),
+			MustHarden(randomProgram(int64(seed)), DefaultConfig()),
+		} {
+			text := mod.String()
+			back, err := ir.Parse(text)
+			if err != nil {
+				t.Fatalf("seed %d: re-parse: %v", seed, err)
+			}
+			if back.String() != text {
+				t.Fatalf("seed %d: round trip not a fixed point", seed)
+			}
+		}
+	}
+}
+
+// TestRandomProgramsOptimizerPreserves checks that the pre-hardening
+// optimizer (package opt, the stand-in for LLVM -O3) never changes
+// program output, alone or composed with every hardening mode.
+func TestRandomProgramsOptimizerPreserves(t *testing.T) {
+	for seed := 100; seed < 140; seed++ {
+		m := randomProgram(int64(seed))
+		ref := vm.New(m.Clone(), 1, quietVM())
+		ref.Run(vm.ThreadSpec{Func: "main"})
+		if ref.Status() != vm.StatusOK {
+			t.Fatalf("seed %d: native run failed", seed)
+		}
+		want := ref.Output()
+		for _, mode := range []Mode{ModeNative, ModeHAFT} {
+			cfg := Config{Mode: mode, Opt: OptFaultProp, TxThreshold: 300, Optimize: true}
+			h, err := Harden(m, cfg)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			mach := vm.New(h, 1, quietVM())
+			mach.Run(vm.ThreadSpec{Func: "main"})
+			if mach.Status() != vm.StatusOK {
+				t.Fatalf("seed %d %v+opt: %v (%s)", seed, mode, mach.Status(), mach.Stats().CrashReason)
+			}
+			if got := mach.Output(); len(got) != len(want) || got[0] != want[0] {
+				t.Fatalf("seed %d %v+opt: output %v, want %v", seed, mode, got, want)
+			}
+		}
+	}
+}

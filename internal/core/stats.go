@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// InstrStats counts the instrumentation a hardened module carries —
+// the static view of what ILR and TX inserted, mirroring the kind of
+// pass statistics LLVM's -stats flag prints.
+type InstrStats struct {
+	Funcs        int
+	Instrs       int
+	Shadow       int // ILR shadow-flow instructions
+	Checks       int // ILR integrity-check comparisons
+	DetectOps    int // branches/calls on the detection path
+	FaultProp    int // fault-propagation checks (§3.3)
+	TxBegins     int
+	TxEnds       int
+	TxCondSplits int
+	TxCounterInc int
+	ElidedLocks  int // lock.*_elide call sites
+	Unprotected  int // instructions in unprotected functions
+}
+
+// CollectStats scans a module.
+func CollectStats(m *ir.Module) InstrStats {
+	var st InstrStats
+	for _, f := range m.Funcs {
+		st.Funcs++
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				st.Instrs++
+				if f.Attrs.Unprotected {
+					st.Unprotected++
+					continue
+				}
+				if in.HasFlag(ir.FlagShadow) {
+					st.Shadow++
+				}
+				if in.HasFlag(ir.FlagCheck) {
+					st.Checks++
+					if in.HasFlag(ir.FlagFaultProp) {
+						st.FaultProp++
+					}
+				}
+				if in.HasFlag(ir.FlagDetect) {
+					st.DetectOps++
+				}
+				if in.Op == ir.OpCall {
+					switch in.Callee {
+					case "tx.begin":
+						st.TxBegins++
+					case "tx.end":
+						st.TxEnds++
+					case "tx.cond_split":
+						st.TxCondSplits++
+					case "tx.counter_inc":
+						st.TxCounterInc++
+					case "lock.acquire_elide", "lock.release_elide":
+						st.ElidedLocks++
+					}
+				}
+			}
+		}
+	}
+	return st
+}
+
+// String renders the statistics in an LLVM -stats style block.
+func (s InstrStats) String() string {
+	var sb strings.Builder
+	w := func(n int, what string) {
+		fmt.Fprintf(&sb, "%8d  %s\n", n, what)
+	}
+	w(s.Funcs, "functions")
+	w(s.Instrs, "instructions (total)")
+	w(s.Shadow, "ilr    - shadow-flow instructions")
+	w(s.Checks, "ilr    - integrity checks")
+	w(s.FaultProp, "ilr    - fault-propagation checks")
+	w(s.DetectOps, "ilr    - detection-path operations")
+	w(s.TxBegins, "tx     - transaction begins")
+	w(s.TxEnds, "tx     - transaction ends")
+	w(s.TxCondSplits, "tx     - conditional splits")
+	w(s.TxCounterInc, "tx     - counter increments")
+	w(s.ElidedLocks, "tx     - elided lock sites")
+	w(s.Unprotected, "unprotected-library instructions")
+	return sb.String()
+}
+
+// Expansion returns the static code-growth factor relative to a
+// baseline instruction count.
+func (s InstrStats) Expansion(baseline int) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return float64(s.Instrs) / float64(baseline)
+}

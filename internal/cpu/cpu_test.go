@@ -1,0 +1,127 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestIssueWidthLimitsThroughput(t *testing.T) {
+	// 8 independent 1-cycle instructions on a 4-wide core: 2 cycles of
+	// issue.
+	s := NewSched(4)
+	for i := 0; i < 8; i++ {
+		s.Issue(1, 0)
+	}
+	if s.Now() != 2 {
+		t.Fatalf("cycle = %d, want 2", s.Now())
+	}
+}
+
+func TestDependentChainSerializes(t *testing.T) {
+	// A chain of 10 dependent 3-cycle instructions takes ~30 cycles
+	// regardless of width.
+	s := NewSched(4)
+	ready := uint64(0)
+	for i := 0; i < 10; i++ {
+		ready = s.Issue(3, ready)
+	}
+	if ready < 30 {
+		t.Fatalf("chain completes at %d, want >= 30", ready)
+	}
+}
+
+func TestIndependentFlowsOverlap(t *testing.T) {
+	// Two independent dependent-chains (master + shadow) on a 4-wide
+	// core should take barely longer than one chain — the mechanism
+	// behind ILR's low overhead on low-ILP code.
+	one := NewSched(4)
+	r := uint64(0)
+	for i := 0; i < 100; i++ {
+		r = one.Issue(3, r)
+	}
+	oneChain := r
+
+	two := NewSched(4)
+	ra, rb := uint64(0), uint64(0)
+	for i := 0; i < 100; i++ {
+		ra = two.Issue(3, ra)
+		rb = two.Issue(3, rb)
+	}
+	both := ra
+	if rb > both {
+		both = rb
+	}
+	if float64(both) > 1.15*float64(oneChain) {
+		t.Fatalf("two independent chains took %d vs %d for one (> +15%%)", both, oneChain)
+	}
+}
+
+func TestSaturatedCoreDoubles(t *testing.T) {
+	// Width-1 core: doubling the instruction stream doubles the time —
+	// the mechanism behind ILR's high overhead on high-ILP code.
+	one := NewSched(1)
+	for i := 0; i < 100; i++ {
+		one.Issue(1, 0)
+	}
+	n1 := one.Now()
+	two := NewSched(1)
+	for i := 0; i < 200; i++ {
+		two.Issue(1, 0)
+	}
+	if two.Now() < 2*n1-2 {
+		t.Fatalf("saturated core: %d vs %d, want ~2x", two.Now(), n1)
+	}
+}
+
+func TestAdvanceToAndStall(t *testing.T) {
+	s := NewSched(4)
+	s.AdvanceTo(100)
+	if s.Now() != 100 {
+		t.Fatalf("AdvanceTo: %d", s.Now())
+	}
+	s.AdvanceTo(50) // must not go backwards
+	if s.Now() != 100 {
+		t.Fatalf("AdvanceTo went backwards: %d", s.Now())
+	}
+	s.Stall(10)
+	if s.Now() != 110 {
+		t.Fatalf("Stall: %d", s.Now())
+	}
+}
+
+func TestLatenciesSane(t *testing.T) {
+	if Latency(ir.OpAdd) != 1 {
+		t.Error("add latency")
+	}
+	if Latency(ir.OpLoad) <= Latency(ir.OpStore) {
+		t.Error("load should cost more than store-retire")
+	}
+	if Latency(ir.OpFDiv) <= Latency(ir.OpFMul) {
+		t.Error("fdiv should cost more than fmul")
+	}
+	if Latency(ir.OpARMW) <= Latency(ir.OpLoad) {
+		t.Error("locked RMW should cost more than a load")
+	}
+	// Every op has a nonzero latency except none.
+	for op := ir.OpMov; op <= ir.OpTrap; op++ {
+		if Latency(op) == 0 {
+			t.Errorf("latency(%v) = 0", op)
+		}
+	}
+}
+
+func TestIntrinsicLatencies(t *testing.T) {
+	if IntrinsicLatency("tx.begin") < 5*IntrinsicLatency("tx.cond_split") {
+		t.Error("cond_split must be much cheaper than a fresh begin (the §3.2 optimization)")
+	}
+	if IntrinsicLatency("lock.acquire") <= IntrinsicLatency("lock.acquire_elide") {
+		t.Error("elided lock must be cheaper than a real acquire")
+	}
+}
+
+func TestCyclesToSeconds(t *testing.T) {
+	if got := CyclesToSeconds(2_000_000_000); got != 1.0 {
+		t.Fatalf("2e9 cycles at 2GHz = %v s, want 1", got)
+	}
+}

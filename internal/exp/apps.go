@@ -1,0 +1,215 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/fault"
+	"repro/internal/ir"
+	"repro/internal/report"
+	"repro/internal/sei"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+	"repro/internal/ycsb"
+)
+
+// throughput runs a prepared module and returns requests/second (in
+// units of 10⁶ msg/s as plotted in Figures 11 and 12).
+func throughput(mod *ir.Module, p *workloads.Program, threads, requests int) float64 {
+	mach := vm.New(mod.Clone(), threads, vm.DefaultConfig())
+	hp := *p
+	hp.Module = mod
+	mach.Run(hp.SpecsFor(threads)...)
+	if mach.Status() != vm.StatusOK {
+		panic(fmt.Sprintf("exp: app run failed: %v (%s)", mach.Status(), mach.Stats().CrashReason))
+	}
+	secs := cpu.CyclesToSeconds(mach.Stats().Cycles)
+	return float64(requests) / secs / 1e6
+}
+
+func hardenApp(p *workloads.Program, mode core.Mode, elide bool) *ir.Module {
+	return core.MustHarden(p.Module, core.Config{
+		Mode: mode, Opt: core.OptFaultProp,
+		TxThreshold: p.TxThreshold, Blacklist: p.Blacklist,
+		LockElision: elide,
+	})
+}
+
+// Fig11Threads is the client-thread ladder of Figure 11.
+var Fig11Threads = []int{1, 4, 8, 12, 16}
+
+// Fig11 regenerates Figure 11 (left two plots): Memcached throughput
+// under YCSB workloads A and D for the five variants of §6.1.
+func Fig11(o Options) []*report.Series {
+	var out []*report.Series
+	for _, wl := range []ycsb.Workload{ycsb.WorkloadA(1024), ycsb.WorkloadD(1024)} {
+		s := report.NewSeries(
+			fmt.Sprintf("Figure 11: Memcached throughput, workload %s (x10^6 msg/s)", wl.Name),
+			"threads")
+		cfgA := workloads.DefaultMcConfig(wl, workloads.SyncAtomics)
+		cfgL := workloads.DefaultMcConfig(wl, workloads.SyncLocks)
+		if o.Scale > 1 {
+			cfgA.Requests *= o.Scale
+			cfgL.Requests *= o.Scale
+		}
+		pa := workloads.Memcached(cfgA)
+		pl := workloads.Memcached(cfgL)
+		variants := []struct {
+			label string
+			mod   *ir.Module
+			prog  *workloads.Program
+			reqs  int
+		}{
+			{"native-atomics", pa.Module, pa, cfgA.Requests},
+			{"native-lock", pl.Module, pl, cfgL.Requests},
+			{"HAFT-atomics", hardenApp(pa, core.ModeHAFT, false), pa, cfgA.Requests},
+			{"HAFT-lock", hardenApp(pl, core.ModeHAFT, true), pl, cfgL.Requests},
+			{"HAFT-lock-noelision", hardenApp(pl, core.ModeHAFT, false), pl, cfgL.Requests},
+		}
+		for _, th := range Fig11Threads {
+			s.AddX(fmt.Sprintf("%d", th))
+			for _, v := range variants {
+				s.Append(v.label, throughput(v.mod, v.prog, th, v.reqs))
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Fig11SEI regenerates Figure 11 (right): HAFT vs the SEI baseline on
+// the mcblaster-like setup (key range 1,000, 128 B values, §6.1).
+func Fig11SEI(o Options) *report.Series {
+	s := report.NewSeries("Figure 11 (right): HAFT vs SEI on Memcached (x10^6 msg/s)", "threads")
+	cfg := workloads.McConfig{
+		Records:  1000,
+		Requests: 6144,
+		Workload: ycsb.Workload{Name: "mcblaster", ReadFrac: 0.5, Dist: ycsb.Uniform, Records: 1000},
+		// 128 B values; Memcached 1.4.15 has only coarse-grained locks,
+		// so lock elision brings no benefit here (§6.1).
+		ValueWork:   16,
+		Sync:        workloads.SyncAtomics,
+		LockStripes: 1,
+		Seed:        5,
+	}
+	if o.Scale > 1 {
+		cfg.Requests *= o.Scale
+	}
+	p := workloads.Memcached(cfg)
+	seiMod := p.Module.Clone()
+	if n := sei.Apply(seiMod); n == 0 {
+		panic("exp: SEI hardened nothing")
+	}
+	if err := ir.Verify(seiMod); err != nil {
+		panic(err)
+	}
+	variants := []struct {
+		label string
+		mod   *ir.Module
+	}{
+		{"native", p.Module},
+		{"HAFT", hardenApp(p, core.ModeHAFT, false)},
+		{"SEI", seiMod},
+	}
+	for _, th := range Fig11Threads {
+		s.AddX(fmt.Sprintf("%d", th))
+		for _, v := range variants {
+			s.Append(v.label, throughput(v.mod, p, th, cfg.Requests))
+		}
+	}
+	return s
+}
+
+// Fig12 regenerates Figure 12: throughput of the LogCabin, Apache,
+// LevelDB and SQLite case studies, native vs HAFT. LevelDB and SQLite
+// also run workload D, as in the paper.
+func Fig12(o Options) []*report.Series {
+	type entry struct {
+		name  string
+		build func() (*workloads.Program, int)
+	}
+	scale := o.Scale
+	if scale < 1 {
+		scale = 1
+	}
+	cases := []entry{
+		{"LogCabin (RAFT)", func() (*workloads.Program, int) {
+			return workloads.BuildLogCabin(scale), int(3072) * scale
+		}},
+		{"Apache web server", func() (*workloads.Program, int) {
+			return workloads.BuildApache(scale), 384 * scale
+		}},
+		{"LevelDB (A)", func() (*workloads.Program, int) {
+			return workloads.BuildLevelDB(scale, ycsb.WorkloadA(1024)), 4096 * scale
+		}},
+		{"LevelDB (D)", func() (*workloads.Program, int) {
+			return workloads.BuildLevelDB(scale, ycsb.WorkloadD(1024)), 4096 * scale
+		}},
+		{"SQLite (A)", func() (*workloads.Program, int) {
+			return workloads.BuildSQLite(scale, ycsb.WorkloadA(512)), 1024 * scale
+		}},
+		{"SQLite (D)", func() (*workloads.Program, int) {
+			return workloads.BuildSQLite(scale, ycsb.WorkloadD(512)), 1024 * scale
+		}},
+	}
+	var out []*report.Series
+	for _, c := range cases {
+		p, reqs := c.build()
+		s := report.NewSeries(fmt.Sprintf("Figure 12: %s throughput (x10^6 msg/s)", c.name), "threads")
+		haft := hardenApp(p, core.ModeHAFT, false)
+		for _, th := range Fig11Threads {
+			s.AddX(fmt.Sprintf("%d", th))
+			s.Append("native", throughput(p.Module, p, th, reqs))
+			s.Append("HAFT", throughput(haft, p, th, reqs))
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// AppFI runs the §6.1/§6.2 fault-injection campaigns: Memcached SDC
+// reduction, and the LevelDB/SQLite crash-rate reduction.
+func AppFI(o Options) (*report.Table, error) {
+	t := &report.Table{
+		Title: fmt.Sprintf("Case-study fault injections (%d injections, %d threads)",
+			o.Injections, o.FIThreads),
+		Header: []string{"app", "version", "crashed%", "correct%", "corrupted%"},
+	}
+	apps := []struct {
+		name  string
+		build func() *workloads.Program
+	}{
+		{"memcached", func() *workloads.Program {
+			cfg := workloads.DefaultMcConfig(ycsb.WorkloadA(256), workloads.SyncAtomics)
+			cfg.Requests = 512
+			return workloads.Memcached(cfg)
+		}},
+		{"leveldb", func() *workloads.Program { return workloads.BuildLevelDB(0, ycsb.WorkloadA(256)) }},
+		{"sqlite", func() *workloads.Program { return workloads.BuildSQLite(0, ycsb.WorkloadA(256)) }},
+	}
+	for _, a := range apps {
+		p := a.build()
+		for _, mode := range []core.Mode{core.ModeNative, core.ModeHAFT} {
+			mod := hardenApp(p, mode, false)
+			hp := *p
+			hp.Module = mod
+			tg := &fault.Target{
+				Name:    a.name + "/" + mode.String(),
+				Module:  mod,
+				Threads: o.FIThreads,
+				VM:      vm.DefaultConfig(),
+				Specs:   hp.SpecsFor(o.FIThreads),
+			}
+			res, err := fault.Campaign(tg, o.Injections, o.Seed)
+			if err != nil {
+				return nil, err
+			}
+			t.AddF(1, a.name, mode.String(),
+				res.ClassRate(fault.ClassCrashed),
+				res.ClassRate(fault.ClassCorrect),
+				res.ClassRate(fault.ClassCorrupted))
+		}
+	}
+	return t, nil
+}

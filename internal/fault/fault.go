@@ -1,0 +1,347 @@
+// Package fault implements HAFT's software fault-injection framework
+// (§4.2 of the paper): single event upsets are injected uniformly at
+// random across the dynamic execution trace of a program, one per run,
+// and the outcome of each run is classified per Table 1.
+//
+// The original framework drives Intel SDE plus GDB scripts; here the
+// machine simulator exposes the same hook directly (vm.FaultPlan): the
+// k-th dynamic register-writing instruction has one of its output
+// registers XORed with a random mask. A preparatory reference run
+// records the trace length (the injection population) and the correct
+// output.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// Outcome classifies one fault-injection run (Table 1).
+type Outcome uint8
+
+const (
+	// OutcomeHang: the program became unresponsive (budget exhausted).
+	OutcomeHang Outcome = iota
+	// OutcomeOSDetected: the OS terminated the program (invalid memory
+	// access, division by zero, illegal instruction, deadlock).
+	OutcomeOSDetected
+	// OutcomeILRDetected: ILR detected the fault but TX did not
+	// recover; the program fail-stopped.
+	OutcomeILRDetected
+	// OutcomeHAFTCorrected: ILR detected and TX recovered; output
+	// correct.
+	OutcomeHAFTCorrected
+	// OutcomeMasked: the fault did not affect the output.
+	OutcomeMasked
+	// OutcomeSDC: silent data corruption in the output.
+	OutcomeSDC
+	numOutcomes
+)
+
+// String returns the Table 1 name of the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeHang:
+		return "Hang"
+	case OutcomeOSDetected:
+		return "OS-detected"
+	case OutcomeILRDetected:
+		return "ILR-detected"
+	case OutcomeHAFTCorrected:
+		return "HAFT-corrected"
+	case OutcomeMasked:
+		return "Masked"
+	case OutcomeSDC:
+		return "SDC"
+	}
+	return "outcome?"
+}
+
+// Class groups outcomes as in Table 1's right column.
+type Class uint8
+
+const (
+	// ClassCrashed: the system stopped (Hang, OS-detected,
+	// ILR-detected).
+	ClassCrashed Class = iota
+	// ClassCorrect: output correct (HAFT-corrected, Masked).
+	ClassCorrect
+	// ClassCorrupted: silent data corruption.
+	ClassCorrupted
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case ClassCrashed:
+		return "Crashed"
+	case ClassCorrect:
+		return "Correct"
+	case ClassCorrupted:
+		return "Corrupted"
+	}
+	return "class?"
+}
+
+// Class returns the outcome's class.
+func (o Outcome) Class() Class {
+	switch o {
+	case OutcomeHang, OutcomeOSDetected, OutcomeILRDetected:
+		return ClassCrashed
+	case OutcomeHAFTCorrected, OutcomeMasked:
+		return ClassCorrect
+	}
+	return ClassCorrupted
+}
+
+// Target describes a program to inject faults into. Build must return
+// a freshly-prepared machine plus its thread specs on every call: each
+// injection is an independent run.
+type Target struct {
+	Name string
+	// Module is the (hardened or native) program.
+	Module *ir.Module
+	// Threads is the number of cores/threads.
+	Threads int
+	// VM is the machine configuration.
+	VM vm.Config
+	// Setup optionally pokes initial data into memory before a run.
+	Setup func(*vm.Machine)
+	// Specs are the thread entry points.
+	Specs []vm.ThreadSpec
+}
+
+func (t *Target) newMachine() *vm.Machine {
+	mach := vm.New(t.Module.Clone(), t.Threads, t.VM)
+	if t.Setup != nil {
+		t.Setup(mach)
+	}
+	return mach
+}
+
+// SiteStats aggregates outcomes of faults injected at one static
+// location ("func/block op"), supporting the per-site vulnerability
+// analysis the paper uses to explain Memcached's two lingering SDCs
+// (§6.1: both in the reply-shaping functions).
+type SiteStats struct {
+	Site   string
+	Total  int
+	Counts [numOutcomes]int
+}
+
+// SDCs returns the number of silent corruptions at the site.
+func (s *SiteStats) SDCs() int { return s.Counts[OutcomeSDC] }
+
+// Result aggregates a campaign.
+type Result struct {
+	Name   string
+	Total  int
+	Counts [numOutcomes]int
+	// Sites breaks outcomes down by the static instruction the fault
+	// was injected at.
+	Sites map[string]*SiteStats
+	// Reference statistics from the fault-free run.
+	RefRegWrites uint64
+	RefCycles    uint64
+}
+
+// VulnerableSites returns the sites with at least one SDC, most
+// vulnerable first.
+func (r *Result) VulnerableSites() []*SiteStats {
+	var out []*SiteStats
+	for _, s := range r.Sites {
+		if s.SDCs() > 0 {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SDCs() != out[j].SDCs() {
+			return out[i].SDCs() > out[j].SDCs()
+		}
+		return out[i].Site < out[j].Site
+	})
+	return out
+}
+
+// Rate returns the percentage of runs with the given outcome.
+func (r *Result) Rate(o Outcome) float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return 100 * float64(r.Counts[o]) / float64(r.Total)
+}
+
+// ClassRate returns the percentage of runs in the given class.
+func (r *Result) ClassRate(c Class) float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	n := 0
+	for o := Outcome(0); o < numOutcomes; o++ {
+		if o.Class() == c {
+			n += r.Counts[o]
+		}
+	}
+	return 100 * float64(n) / float64(r.Total)
+}
+
+// CorrectedShare returns the percentage of *detected* faults that were
+// corrected (the paper's 91.2% headline combines detection and
+// recovery; this helper reports recovery effectiveness).
+func (r *Result) CorrectedShare() float64 {
+	det := r.Counts[OutcomeHAFTCorrected] + r.Counts[OutcomeILRDetected]
+	if det == 0 {
+		return 0
+	}
+	return 100 * float64(r.Counts[OutcomeHAFTCorrected]) / float64(det)
+}
+
+// String formats the result like a Figure 9 bar.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: crashed=%.1f%% correct=%.1f%% corrupted=%.1f%% (corrected=%.1f%% masked=%.1f%%)",
+		r.Name, r.ClassRate(ClassCrashed), r.ClassRate(ClassCorrect), r.ClassRate(ClassCorrupted),
+		r.Rate(OutcomeHAFTCorrected), r.Rate(OutcomeMasked))
+}
+
+// Campaign runs n single-fault injections against the target and
+// classifies each outcome, fanning the independent runs out across
+// CPU cores — the role the paper's 25-machine cluster plays (§5.1).
+// Results are identical to a serial campaign with the same seed: the
+// injection plans are drawn up front from a single RNG.
+func Campaign(t *Target, n int, seed int64) (*Result, error) {
+	return campaign(t, n, seed, runtime.GOMAXPROCS(0))
+}
+
+// CampaignSerial is Campaign on a single worker (tests and debugging).
+func CampaignSerial(t *Target, n int, seed int64) (*Result, error) {
+	return campaign(t, n, seed, 1)
+}
+
+func campaign(t *Target, n int, seed int64, workers int) (*Result, error) {
+	ref := t.newMachine()
+	ref.Run(t.Specs...)
+	if ref.Status() != vm.StatusOK {
+		return nil, fmt.Errorf("fault: reference run of %s failed: %v (%s)",
+			t.Name, ref.Status(), ref.Stats().CrashReason)
+	}
+	refOut := append([]uint64(nil), ref.Output()...)
+	pop := ref.Stats().RegWrites
+	if pop == 0 {
+		return nil, fmt.Errorf("fault: %s executes no register-writing instructions", t.Name)
+	}
+	budget := ref.Stats().DynInstrs*10 + 100_000
+
+	res := &Result{
+		Name:         t.Name,
+		Sites:        make(map[string]*SiteStats),
+		RefRegWrites: pop,
+		RefCycles:    ref.Stats().Cycles,
+	}
+	// Draw every injection plan up front so the outcome set does not
+	// depend on worker count or scheduling.
+	rng := rand.New(rand.NewSource(seed))
+	plans := make([]*vm.FaultPlan, n)
+	for i := range plans {
+		// Uniform dynamic instruction occurrence; random non-zero mask
+		// (both single- and multi-bit upsets, like the XOR with a
+		// random integer in §4.2).
+		plans[i] = &vm.FaultPlan{
+			TargetIndex: uint64(rng.Int63n(int64(pop))),
+			Mask:        randMask(rng),
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	outcomes := make([]Outcome, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				mach := t.newMachine()
+				mach.Cfg.MaxDynInstrs = budget
+				mach.SetFaultPlan(plans[i])
+				mach.Run(t.Specs...)
+				outcomes[i] = Classify(mach, refOut)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for i, o := range outcomes {
+		res.Counts[o]++
+		res.Total++
+		if plans[i].Injected {
+			s := res.Sites[plans[i].Where]
+			if s == nil {
+				s = &SiteStats{Site: plans[i].Where}
+				res.Sites[plans[i].Where] = s
+			}
+			s.Total++
+			s.Counts[o]++
+		}
+	}
+	return res, nil
+}
+
+// randMask returns a random non-zero 64-bit corruption pattern. Half
+// the time it is a single bit flip (the dominant physical SEU); the
+// rest is a random integer as in the paper's injector.
+func randMask(rng *rand.Rand) uint64 {
+	if rng.Intn(2) == 0 {
+		return 1 << uint(rng.Intn(64))
+	}
+	for {
+		m := rng.Uint64()
+		if m != 0 {
+			return m
+		}
+	}
+}
+
+// Classify maps a finished machine run onto a Table 1 outcome given
+// the reference output.
+func Classify(mach *vm.Machine, refOut []uint64) Outcome {
+	switch mach.Status() {
+	case vm.StatusHung:
+		return OutcomeHang
+	case vm.StatusCrashed:
+		return OutcomeOSDetected
+	case vm.StatusILRDetected:
+		return OutcomeILRDetected
+	}
+	got := mach.Output()
+	if len(got) != len(refOut) {
+		return OutcomeSDC
+	}
+	for i := range got {
+		if got[i] != refOut[i] {
+			return OutcomeSDC
+		}
+	}
+	if mach.Stats().ExplicitAborts > 0 {
+		return OutcomeHAFTCorrected
+	}
+	return OutcomeMasked
+}
+
+// Outcomes lists all outcomes in Table 1 order.
+func Outcomes() []Outcome {
+	return []Outcome{OutcomeHang, OutcomeOSDetected, OutcomeILRDetected,
+		OutcomeHAFTCorrected, OutcomeMasked, OutcomeSDC}
+}

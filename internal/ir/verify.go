@@ -1,0 +1,289 @@
+package ir
+
+import (
+	"fmt"
+)
+
+// VerifyError describes a structural problem found in a function.
+type VerifyError struct {
+	Func  string
+	Block string
+	Index int // instruction index within the block, -1 for block-level
+	Msg   string
+}
+
+func (e *VerifyError) Error() string {
+	if e.Index < 0 {
+		return fmt.Sprintf("ir: %s/%s: %s", e.Func, e.Block, e.Msg)
+	}
+	return fmt.Sprintf("ir: %s/%s[%d]: %s", e.Func, e.Block, e.Index, e.Msg)
+}
+
+// Verify checks the module for structural validity: every block has
+// exactly one terminator at its end, branch targets are in range, phi
+// predecessor lists match the CFG, result registers are in range and
+// defined at most once, operand registers are defined somewhere, and
+// direct callees exist (intrinsics excepted).
+//
+// It does not enforce full SSA dominance — the passes construct code
+// where a textbook dominance check would need block splitting — but
+// checks the weaker invariant that every used register is defined at
+// least once or is a parameter.
+func Verify(m *Module) error {
+	for _, f := range m.Funcs {
+		if err := VerifyFunc(m, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IsIntrinsic reports whether name refers to a machine intrinsic
+// rather than an IR function. Intrinsics are the runtime helpers of
+// the HAFT design (§3.2) plus the "external library" surface.
+func IsIntrinsic(name string) bool {
+	switch name {
+	case "tx.begin", "tx.end", "tx.cond_split", "tx.counter_inc",
+		"ilr.fail", "haft.crash",
+		"lock.acquire", "lock.release",
+		"lock.acquire_elide", "lock.release_elide",
+		"malloc", "free",
+		"thread.id", "thread.count",
+		"barrier.wait",
+		"sys.read", "sys.write":
+		return true
+	}
+	return false
+}
+
+// VerifyFunc checks a single function.
+func VerifyFunc(m *Module, f *Func) error {
+	errf := func(b *Block, i int, format string, args ...interface{}) error {
+		return &VerifyError{Func: f.Name, Block: b.Name, Index: i, Msg: fmt.Sprintf(format, args...)}
+	}
+	if len(f.Blocks) == 0 {
+		return &VerifyError{Func: f.Name, Block: "", Index: -1, Msg: "function has no blocks"}
+	}
+	defined := make([]bool, f.NValues)
+	for i := 0; i < f.NParams; i++ {
+		defined[i] = true
+	}
+	// Pass 1: definitions, per-instruction shape.
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			return errf(b, -1, "empty block")
+		}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			isLast := i == len(b.Instrs)-1
+			if in.Op.IsTerminator() != isLast {
+				if isLast {
+					return errf(b, i, "block does not end in a terminator (%s)", in.Op)
+				}
+				return errf(b, i, "terminator %s in the middle of a block", in.Op)
+			}
+			if in.Res != NoValue {
+				if int(in.Res) < 0 || int(in.Res) >= f.NValues {
+					return errf(b, i, "result v%d out of range [0,%d)", in.Res, f.NValues)
+				}
+				if defined[in.Res] && in.Op != OpPhi {
+					// Redefinition is tolerated only for phi merges the
+					// passes never create; flag everything.
+					return errf(b, i, "register v%d defined more than once", in.Res)
+				}
+				defined[in.Res] = true
+			}
+			if err := checkShape(m, f, b, i, in); err != nil {
+				return err
+			}
+		}
+	}
+	// Pass 2: uses.
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			for _, a := range in.Args {
+				if a.IsConst {
+					continue
+				}
+				if int(a.Reg) < 0 || int(a.Reg) >= f.NValues {
+					return errf(b, i, "operand v%d out of range", a.Reg)
+				}
+				if !defined[a.Reg] {
+					return errf(b, i, "operand v%d never defined", a.Reg)
+				}
+			}
+		}
+	}
+	// Pass 3: phi predecessor consistency.
+	preds := predecessors(f)
+	for bi, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op != OpPhi {
+				continue
+			}
+			if len(in.PhiPreds) != len(in.Args) {
+				return errf(b, i, "phi preds/args length mismatch")
+			}
+			for _, p := range in.PhiPreds {
+				if p < 0 || p >= len(f.Blocks) {
+					return errf(b, i, "phi predecessor %d out of range", p)
+				}
+				if !contains(preds[bi], p) {
+					return errf(b, i, "phi lists non-predecessor block %s", f.Blocks[p].Name)
+				}
+			}
+			// Every actual predecessor must be covered.
+			for _, p := range preds[bi] {
+				if !contains(in.PhiPreds, p) {
+					return errf(b, i, "phi misses predecessor block %s", f.Blocks[p].Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkShape(m *Module, f *Func, b *Block, i int, in *Instr) error {
+	errf := func(format string, args ...interface{}) error {
+		return &VerifyError{Func: f.Name, Block: b.Name, Index: i, Msg: fmt.Sprintf(format, args...)}
+	}
+	wantArgs := func(n int) error {
+		if len(in.Args) != n {
+			return errf("%s wants %d operands, has %d", in.Op, n, len(in.Args))
+		}
+		return nil
+	}
+	wantRes := func(want bool) error {
+		if want && in.Res == NoValue {
+			return errf("%s must define a result", in.Op)
+		}
+		if !want && in.Res != NoValue {
+			return errf("%s must not define a result", in.Op)
+		}
+		return nil
+	}
+	switch in.Op {
+	case OpMov, OpNot, OpFSqrt, OpFExp, OpFLog, OpFAbs, OpSIToFP, OpFPToSI, OpLoad, OpALoad:
+		if err := wantArgs(1); err != nil {
+			return err
+		}
+		return wantRes(true)
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr, OpSar,
+		OpFAdd, OpFSub, OpFMul, OpFDiv, OpCmp:
+		if err := wantArgs(2); err != nil {
+			return err
+		}
+		return wantRes(true)
+	case OpSelect:
+		if err := wantArgs(3); err != nil {
+			return err
+		}
+		return wantRes(true)
+	case OpStore, OpAStore:
+		if err := wantArgs(2); err != nil {
+			return err
+		}
+		return wantRes(false)
+	case OpARMW:
+		want := 2
+		if in.RMW == RMWCAS {
+			want = 3
+		}
+		if err := wantArgs(want); err != nil {
+			return err
+		}
+		return wantRes(true)
+	case OpFrameAddr:
+		if err := wantArgs(0); err != nil {
+			return err
+		}
+		if in.Off < 0 || in.Off >= f.FrameBytes && f.FrameBytes > 0 || in.Off > 0 && f.FrameBytes == 0 {
+			return errf("frameaddr offset %d outside frame of %d bytes", in.Off, f.FrameBytes)
+		}
+		return wantRes(true)
+	case OpPhi:
+		if len(in.Args) == 0 {
+			return errf("phi with no incoming values")
+		}
+		return wantRes(true)
+	case OpCall:
+		if in.Callee == "" {
+			return errf("call with empty callee")
+		}
+		if !IsIntrinsic(in.Callee) && m.Func(in.Callee) == nil {
+			return errf("call to unknown function %q", in.Callee)
+		}
+		if g := m.Func(in.Callee); g != nil && len(in.Args) != g.NParams {
+			return errf("call to %s with %d args, want %d", in.Callee, len(in.Args), g.NParams)
+		}
+		return nil
+	case OpCallInd:
+		if len(in.Args) < 1 {
+			return errf("callind needs a target operand")
+		}
+		return nil
+	case OpOut:
+		if err := wantArgs(1); err != nil {
+			return err
+		}
+		return wantRes(false)
+	case OpBr:
+		if err := wantArgs(1); err != nil {
+			return err
+		}
+		if len(in.Blocks) != 2 {
+			return errf("br wants 2 targets")
+		}
+		for _, t := range in.Blocks {
+			if t < 0 || t >= len(f.Blocks) {
+				return errf("br target %d out of range", t)
+			}
+		}
+		return wantRes(false)
+	case OpJmp:
+		if len(in.Blocks) != 1 {
+			return errf("jmp wants 1 target")
+		}
+		if t := in.Blocks[0]; t < 0 || t >= len(f.Blocks) {
+			return errf("jmp target %d out of range", t)
+		}
+		return wantRes(false)
+	case OpRet:
+		if len(in.Args) > 1 {
+			return errf("ret with %d values", len(in.Args))
+		}
+		return wantRes(false)
+	case OpTrap:
+		return wantRes(false)
+	}
+	return errf("unknown op %d", in.Op)
+}
+
+// predecessors computes, for each block index, the indices of blocks
+// that branch to it.
+func predecessors(f *Func) [][]int {
+	preds := make([][]int, len(f.Blocks))
+	for bi, b := range f.Blocks {
+		t := b.Terminator()
+		if t == nil {
+			continue
+		}
+		for _, s := range t.Blocks {
+			if s >= 0 && s < len(f.Blocks) && !contains(preds[s], bi) {
+				preds[s] = append(preds[s], bi)
+			}
+		}
+	}
+	return preds
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,140 @@
+package lang
+
+// AST node types. Positions carry the line for error messages.
+
+// Program is a parsed source file.
+type Program struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// GlobalDecl declares a module-level scalar or array of 64-bit words.
+type GlobalDecl struct {
+	Name  string
+	Words int64 // 1 for scalars
+	Line  int
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Name        string
+	Params      []string
+	Local       bool
+	Unprotected bool
+	Handler     bool
+	Body        *Block
+	Line        int
+}
+
+// Block is a brace-delimited statement list.
+type Block struct {
+	Stmts []Stmt
+}
+
+// Stmt is implemented by all statements.
+type Stmt interface{ stmt() }
+
+// VarStmt declares and initializes a local variable.
+type VarStmt struct {
+	Name string
+	Init Expr
+	Line int
+}
+
+// AssignStmt stores into a variable, global, or array element.
+type AssignStmt struct {
+	Target *LValue
+	Value  Expr
+	Line   int
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then *Block
+	Else *Block // may be nil
+	Line int
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body *Block
+	Line int
+}
+
+// ReturnStmt returns an optional value.
+type ReturnStmt struct {
+	Value Expr // may be nil
+	Line  int
+}
+
+// ExprStmt evaluates an expression for its effects (usually a call).
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+func (*VarStmt) stmt()    {}
+func (*AssignStmt) stmt() {}
+func (*IfStmt) stmt()     {}
+func (*WhileStmt) stmt()  {}
+func (*ReturnStmt) stmt() {}
+func (*ExprStmt) stmt()   {}
+
+// LValue names an assignable location.
+type LValue struct {
+	Name  string
+	Index Expr // nil for scalars
+	Line  int
+}
+
+// Expr is implemented by all expressions.
+type Expr interface{ expr() }
+
+// NumExpr is an integer literal.
+type NumExpr struct {
+	Value uint64
+	Line  int
+}
+
+// IdentExpr reads a variable or global scalar.
+type IdentExpr struct {
+	Name string
+	Line int
+}
+
+// IndexExpr reads an array element.
+type IndexExpr struct {
+	Name  string
+	Index Expr
+	Line  int
+}
+
+// CallExpr calls a function or builtin.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+// UnaryExpr applies -, !, or ~.
+type UnaryExpr struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+func (*NumExpr) expr()    {}
+func (*IdentExpr) expr()  {}
+func (*IndexExpr) expr()  {}
+func (*CallExpr) expr()   {}
+func (*UnaryExpr) expr()  {}
+func (*BinaryExpr) expr() {}

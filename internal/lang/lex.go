@@ -1,0 +1,188 @@
+// Package lang implements a small C-flavored source language and its
+// compiler to the IR — the front half of the pipeline the paper
+// assumes ("HAFT takes unmodified source code of an application and
+// produces a HAFTed executable", §4.1). The language is deliberately
+// tiny but real: 64-bit integer scalars and arrays, functions, locals,
+// full expression precedence, while/if/else, and builtins for the
+// runtime surface (threads, locks, atomics, barriers, I/O).
+//
+// Grammar sketch:
+//
+//	program   := (global | func)*
+//	global    := "global" ident [ "[" number "]" ] ";"
+//	func      := "func" ident "(" params ")" [attrs] block
+//	attrs     := ("local" | "unprotected" | "handler")*
+//	block     := "{" stmt* "}"
+//	stmt      := "var" ident "=" expr ";"
+//	           | lvalue "=" expr ";"
+//	           | "if" "(" expr ")" block [ "else" block ]
+//	           | "while" "(" expr ")" block
+//	           | "return" [expr] ";"
+//	           | expr ";"
+//	lvalue    := ident | ident "[" expr "]"
+//	expr      := C-style precedence over || && | ^ & == != < <= > >=
+//	             << >> + - * / % with unary - ! ~ and calls
+//
+// Builtins: out(v), thread_id(), thread_count(), barrier(addr, n),
+// lock(addr), unlock(addr), atomic_add(addr, v), atomic_load(addr),
+// atomic_store(addr, v), addr(global[, index]), malloc(bytes),
+// load(addr), store(addr, v).
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // operators and delimiters, in tok.text
+	tokKeyword
+)
+
+var keywords = map[string]bool{
+	"global": true, "func": true, "var": true, "if": true, "else": true,
+	"while": true, "return": true, "local": true, "unprotected": true,
+	"handler": true,
+}
+
+// token is one lexeme with its source position.
+type token struct {
+	kind tokKind
+	text string
+	num  uint64
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokNumber:
+		return fmt.Sprintf("number %d", t.num)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lexer tokenizes source text.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+// twoCharOps are the multi-character operators, longest match first.
+var twoCharOps = []string{"<<", ">>", "<=", ">=", "==", "!=", "&&", "||"}
+
+func (lx *lexer) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("lang: line %d:%d: %s", lx.line, lx.col, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) advance(n int) {
+	for i := 0; i < n; i++ {
+		if lx.pos < len(lx.src) && lx.src[lx.pos] == '\n' {
+			lx.line++
+			lx.col = 1
+		} else {
+			lx.col++
+		}
+		lx.pos++
+	}
+}
+
+// next returns the next token.
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance(1)
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.advance(1)
+			}
+		default:
+			goto lexeme
+		}
+	}
+	return token{kind: tokEOF, line: lx.line, col: lx.col}, nil
+
+lexeme:
+	start := lx.pos
+	line, col := lx.line, lx.col
+	c := lx.src[lx.pos]
+
+	if unicode.IsLetter(rune(c)) || c == '_' {
+		for lx.pos < len(lx.src) {
+			r := lx.src[lx.pos]
+			if !unicode.IsLetter(rune(r)) && !unicode.IsDigit(rune(r)) && r != '_' {
+				break
+			}
+			lx.advance(1)
+		}
+		text := lx.src[start:lx.pos]
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, line: line, col: col}, nil
+	}
+
+	if unicode.IsDigit(rune(c)) {
+		for lx.pos < len(lx.src) {
+			r := lx.src[lx.pos]
+			if !unicode.IsDigit(rune(r)) && !unicode.IsLetter(rune(r)) {
+				break
+			}
+			lx.advance(1)
+		}
+		text := lx.src[start:lx.pos]
+		n, err := strconv.ParseUint(text, 0, 64)
+		if err != nil {
+			return token{}, lx.errf("bad number %q", text)
+		}
+		return token{kind: tokNumber, text: text, num: n, line: line, col: col}, nil
+	}
+
+	for _, op := range twoCharOps {
+		if strings.HasPrefix(lx.src[lx.pos:], op) {
+			lx.advance(2)
+			return token{kind: tokPunct, text: op, line: line, col: col}, nil
+		}
+	}
+	if strings.ContainsRune("+-*/%&|^~!<>=(){}[],;", rune(c)) {
+		lx.advance(1)
+		return token{kind: tokPunct, text: string(c), line: line, col: col}, nil
+	}
+	return token{}, lx.errf("unexpected character %q", c)
+}
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, error) {
+	lx := newLexer(src)
+	var out []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexerTokens(t *testing.T) {
+	toks, err := lexAll(`func f(a) { return a << 2 >= 0x10 && !a; } // tail comment`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokKind
+	var texts []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+		texts = append(texts, tk.text)
+	}
+	wantTexts := []string{"func", "f", "(", "a", ")", "{", "return", "a", "<<", "2", ">=", "", "&&", "!", "a", ";", "}", ""}
+	if len(toks) != len(wantTexts) {
+		t.Fatalf("token count %d, want %d: %v", len(toks), len(wantTexts), texts)
+	}
+	// The 0x10 number token.
+	if toks[11].kind != tokNumber || toks[11].num != 16 {
+		t.Fatalf("hex literal: %+v", toks[11])
+	}
+	if toks[0].kind != tokKeyword || toks[1].kind != tokIdent {
+		t.Fatalf("keyword/ident classification wrong: %v %v", toks[0], toks[1])
+	}
+	if toks[len(toks)-1].kind != tokEOF {
+		t.Fatal("missing EOF token")
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	toks, err := lexAll("a\n  b\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].line != 1 || toks[0].col != 1 {
+		t.Fatalf("a at %d:%d", toks[0].line, toks[0].col)
+	}
+	if toks[1].line != 2 || toks[1].col != 3 {
+		t.Fatalf("b at %d:%d, want 2:3", toks[1].line, toks[1].col)
+	}
+}
+
+func TestLexerErrorsMentionPosition(t *testing.T) {
+	_, err := lexAll("ok\n   $")
+	if err == nil {
+		t.Fatal("no error for $")
+	}
+	if want := "line 2:4"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q lacks position %q", err, want)
+	}
+}

@@ -1,0 +1,381 @@
+package lang
+
+import "fmt"
+
+// parser consumes the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// ParseProgram parses a source file.
+func ParseProgram(src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.at(tokEOF, "") {
+		switch {
+		case p.at(tokKeyword, "global"):
+			g, err := p.parseGlobal()
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, g)
+		case p.at(tokKeyword, "func"):
+			f, err := p.parseFunc()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, f)
+		default:
+			return nil, p.errf("expected 'global' or 'func', got %s", p.peek())
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) take() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) line() int   { return p.peek().line }
+func (p *parser) errf(format string, args ...interface{}) error {
+	t := p.peek()
+	return fmt.Errorf("lang: line %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.peek()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	if !p.at(kind, text) {
+		want := text
+		if want == "" {
+			want = map[tokKind]string{tokIdent: "identifier", tokNumber: "number"}[kind]
+		}
+		return token{}, p.errf("expected %s, got %s", want, p.peek())
+	}
+	return p.take(), nil
+}
+
+func (p *parser) parseGlobal() (*GlobalDecl, error) {
+	line := p.line()
+	p.take() // global
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	g := &GlobalDecl{Name: name.text, Words: 1, Line: line}
+	if p.accept(tokPunct, "[") {
+		n, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		if n.num == 0 || n.num > 1<<24 {
+			return nil, p.errf("array size %d out of range", n.num)
+		}
+		g.Words = int64(n.num)
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (p *parser) parseFunc() (*FuncDecl, error) {
+	line := p.line()
+	p.take() // func
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	f := &FuncDecl{Name: name.text, Line: line}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	for !p.at(tokPunct, ")") {
+		if len(f.Params) > 0 {
+			if _, err := p.expect(tokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+		param, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		f.Params = append(f.Params, param.text)
+	}
+	p.take() // )
+	for {
+		switch {
+		case p.accept(tokKeyword, "local"):
+			f.Local = true
+		case p.accept(tokKeyword, "unprotected"):
+			f.Unprotected = true
+		case p.accept(tokKeyword, "handler"):
+			f.Handler = true
+		default:
+			goto body
+		}
+	}
+body:
+	b, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = b
+	return f, nil
+}
+
+func (p *parser) parseBlock() (*Block, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for !p.at(tokPunct, "}") {
+		if p.at(tokEOF, "") {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.take() // }
+	return b, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	line := p.line()
+	switch {
+	case p.accept(tokKeyword, "var"):
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &VarStmt{Name: name.text, Init: init, Line: line}, nil
+
+	case p.accept(tokKeyword, "if"):
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: then, Line: line}
+		if p.accept(tokKeyword, "else") {
+			els, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return st, nil
+
+	case p.accept(tokKeyword, "while"):
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: line}, nil
+
+	case p.accept(tokKeyword, "return"):
+		st := &ReturnStmt{Line: line}
+		if !p.at(tokPunct, ";") {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Value = v
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return st, nil
+	}
+
+	// Assignment or expression statement: disambiguate by lookahead.
+	if p.at(tokIdent, "") {
+		save := p.pos
+		name := p.take()
+		var index Expr
+		if p.accept(tokPunct, "[") {
+			var err error
+			index, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+		}
+		if p.accept(tokPunct, "=") {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+			return &AssignStmt{
+				Target: &LValue{Name: name.text, Index: index, Line: line},
+				Value:  v, Line: line,
+			}, nil
+		}
+		p.pos = save // not an assignment: re-parse as expression
+	}
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: x, Line: line}, nil
+}
+
+// Binary operator precedence, loosest first.
+var precedence = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBinary(1) }
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokPunct {
+			return lhs, nil
+		}
+		prec, ok := precedence[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		op := p.take()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: op.text, L: lhs, R: rhs, Line: op.line}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	if t.kind == tokPunct && (t.text == "-" || t.text == "!" || t.text == "~") {
+		op := p.take()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: op.text, X: x, Line: op.line}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber:
+		p.take()
+		return &NumExpr{Value: t.num, Line: t.line}, nil
+	case t.kind == tokPunct && t.text == "(":
+		p.take()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case t.kind == tokIdent:
+		p.take()
+		switch {
+		case p.accept(tokPunct, "("):
+			call := &CallExpr{Name: t.text, Line: t.line}
+			for !p.at(tokPunct, ")") {
+				if len(call.Args) > 0 {
+					if _, err := p.expect(tokPunct, ","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+			}
+			p.take() // )
+			return call, nil
+		case p.accept(tokPunct, "["):
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Name: t.text, Index: idx, Line: t.line}, nil
+		default:
+			return &IdentExpr{Name: t.text, Line: t.line}, nil
+		}
+	}
+	return nil, p.errf("expected expression, got %s", t)
+}

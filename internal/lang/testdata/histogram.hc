@@ -1,0 +1,49 @@
+// Phoenix histogram, ported to the source language: every thread bins
+// its slice of synthetic pixels into a private histogram and thread 0
+// merges and prints a checksum.
+global input[2048];
+global hist[4096];   // 16 threads x 256 buckets
+global bar;
+
+func mix(x) local {
+  var h = x * 2654435761;
+  return h ^ (h >> 13);
+}
+
+func main() {
+  var n = 2048 / thread_count();
+  var lo = thread_id() * n;
+  var hi = lo + n;
+  var i = lo;
+  while (i < hi) {
+    input[i] = mix(i + 7);
+    i = i + 1;
+  }
+  barrier(addr(bar), thread_count());
+
+  var base = thread_id() * 256;
+  i = lo;
+  while (i < hi) {
+    var px = input[i];
+    hist[base + (px & 255)] = hist[base + (px & 255)] + 1;
+    hist[base + ((px >> 8) & 255)] = hist[base + ((px >> 8) & 255)] + 1;
+    i = i + 1;
+  }
+  barrier(addr(bar), thread_count());
+
+  if (thread_id() == 0) {
+    var sum = 0;
+    var b = 0;
+    while (b < 256) {
+      var total = 0;
+      var t = 0;
+      while (t < thread_count()) {
+        total = total + hist[t * 256 + b];
+        t = t + 1;
+      }
+      sum = sum * 31 + total;
+      b = b + 1;
+    }
+    out(sum);
+  }
+}

@@ -1,0 +1,52 @@
+// A compact kmeans assignment step in the source language: points are
+// assigned to the nearest of 8 centroids; coordinate sums accumulate
+// in shared cells behind atomics.
+global points[512];
+global centroids[8];
+global sums[16];      // (sum, count) per centroid
+global bar;
+
+func dist(p, c) local {
+  var d = (p & 4095) - centroids[c];
+  return d * d;
+}
+
+func main() {
+  var n = 512 / thread_count();
+  var lo = thread_id() * n;
+  var hi = lo + n;
+  var i = lo;
+  while (i < hi) {
+    points[i] = i * 2654435761;
+    i = i + 1;
+  }
+  if (thread_id() == 0) {
+    var ci = 0;
+    while (ci < 8) { centroids[ci] = ci * 512; ci = ci + 1; }
+  }
+  barrier(addr(bar), thread_count());
+
+  i = lo;
+  while (i < hi) {
+    var p = points[i];
+    var best = 0;
+    var bestd = dist(p, 0);
+    var c = 1;
+    while (c < 8) {
+      var d = dist(p, c);
+      if (d < bestd) { bestd = d; best = c; }
+      c = c + 1;
+    }
+    atomic_add(addr(sums, best * 2), p & 4095);
+    atomic_add(addr(sums, best * 2 + 1), 1);
+    i = i + 1;
+  }
+  barrier(addr(bar), thread_count());
+
+  if (thread_id() == 0) {
+    var sum = 0;
+    var k = 0;
+    while (k < 16) { sum = sum * 31 + sums[k]; k = k + 1; }
+    out(sum);
+  }
+}

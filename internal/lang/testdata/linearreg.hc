@@ -1,0 +1,66 @@
+// Phoenix linear_regression in the source language: five independent
+// running sums plus an outlier-skipping branch (the control-flow
+// intensity that makes linearreg EFLAGS-sensitive in §3.3).
+global input[2048];
+global sums[128];     // 16 threads x 5 sums, padded to 8 words
+global bar;
+
+func mix(x) local {
+  var h = x * 2654435761;
+  return h ^ (h >> 13);
+}
+
+func main() {
+  var n = 2048 / thread_count();
+  var lo = thread_id() * n;
+  var hi = lo + n;
+  var i = lo;
+  while (i < hi) {
+    input[i] = mix(i + 99);
+    i = i + 1;
+  }
+  barrier(addr(bar), thread_count());
+
+  var sx = 0;
+  var sy = 0;
+  var sxx = 0;
+  var syy = 0;
+  var sxy = 0;
+  i = lo;
+  while (i < hi) {
+    var v = input[i];
+    var x = v & 4095;
+    var y = (v >> 12) & 4095;
+    if (x <= 4000) {
+      sx = sx + x;
+      sy = sy + y;
+      sxx = sxx + x * x;
+      syy = syy + y * y;
+      sxy = sxy + x * y;
+    }
+    i = i + 1;
+  }
+  var base = thread_id() * 8;
+  sums[base] = sx;
+  sums[base + 1] = sy;
+  sums[base + 2] = sxx;
+  sums[base + 3] = syy;
+  sums[base + 4] = sxy;
+  barrier(addr(bar), thread_count());
+
+  if (thread_id() == 0) {
+    var acc = 0;
+    var k = 0;
+    while (k < 5) {
+      var total = 0;
+      var t = 0;
+      while (t < thread_count()) {
+        total = total + sums[t * 8 + k];
+        t = t + 1;
+      }
+      acc = acc * 31 + total;
+      k = k + 1;
+    }
+    out(acc);
+  }
+}

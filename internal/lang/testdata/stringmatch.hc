@@ -1,0 +1,42 @@
+// Phoenix string_match in the source language: a rolling hash over the
+// corpus with a branch per hit; per-thread match counters merged by
+// thread 0.
+global text[2048];
+global found[128];    // 16 threads, padded to 8 words
+global bar;
+
+func main() {
+  var n = 2048 / thread_count();
+  var lo = thread_id() * n;
+  var hi = lo + n;
+  var i = lo;
+  while (i < hi) {
+    text[i] = (i + 31) * 2654435761;
+    i = i + 1;
+  }
+  barrier(addr(bar), thread_count());
+
+  var hits = 0;
+  i = lo;
+  while (i < hi) {
+    var w = text[i];
+    var h = (w & 65535) * 31 + ((w >> 16) & 65535);
+    h = h * 31 + ((w >> 32) & 65535);
+    if ((h & 1023) == 77) {
+      hits = hits + 1;
+    }
+    i = i + 1;
+  }
+  found[thread_id() * 8] = hits;
+  barrier(addr(bar), thread_count());
+
+  if (thread_id() == 0) {
+    var total = 0;
+    var t = 0;
+    while (t < thread_count()) {
+      total = total + found[t * 8];
+      t = t + 1;
+    }
+    out(total);
+  }
+}

@@ -1,0 +1,376 @@
+package markov
+
+// A miniature PRISM-style model language, standing in for the ~130-LOC
+// PRISM model of §4.2. It covers exactly the features the HAFT
+// availability study needs: named states, exponential transition
+// rates (with simple arithmetic and named constants), and
+// time-bounded occupancy/probability queries.
+//
+// Example model (the Figure 5 chain):
+//
+//	const lambda = 1.0
+//	const p_sdc = 0.011
+//	const p_crashed = 0.077
+//	const p_corr = 0.670
+//
+//	state correct init
+//	state corrupted
+//	state crashed
+//	state correctable
+//
+//	rate correct -> corrupted   lambda * p_sdc
+//	rate correct -> crashed     lambda * p_crashed
+//	rate correct -> correctable lambda * p_corr
+//	rate corrupted -> correct   1 / 21600
+//	rate crashed -> correct     1 / 10
+//	rate correctable -> correct 1 / 0.0000025
+//
+// Queries (package API, not the text format):
+//
+//	m.Occupancy("correct", 3600)   // fraction of the hour available
+//	m.ProbAt("corrupted", 3600)    // P(corrupted at t=1h)
+//	m.MTTF("correct", ...)         // mean time to leaving the good states
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Model is a parsed PRISM-style CTMC.
+type Model struct {
+	States []string
+	Init   int
+	chain  *CTMC
+	index  map[string]int
+}
+
+// ParseModel reads the model language described in the package
+// documentation. Lines are `const name = expr`, `state name [init]`,
+// `rate a -> b expr`, blank, or `//` comments. Expressions support
+// numbers, named constants, and left-associative * and / (sufficient
+// for rate products like `lambda * p_sdc` and `1 / 21600`).
+func ParseModel(src string) (*Model, error) {
+	m := &Model{index: map[string]int{}, Init: -1}
+	consts := map[string]float64{}
+	type pendingRate struct {
+		from, to string
+		expr     string
+		line     int
+	}
+	var rates []pendingRate
+
+	for lineno, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "const":
+			// const name = expr
+			rest := strings.TrimSpace(strings.TrimPrefix(line, "const"))
+			eq := strings.Index(rest, "=")
+			if eq < 0 {
+				return nil, fmt.Errorf("markov: line %d: const without '='", lineno+1)
+			}
+			name := strings.TrimSpace(rest[:eq])
+			val, err := evalExpr(strings.TrimSpace(rest[eq+1:]), consts)
+			if err != nil {
+				return nil, fmt.Errorf("markov: line %d: %v", lineno+1, err)
+			}
+			consts[name] = val
+		case "state":
+			if len(fields) < 2 || len(fields) > 3 {
+				return nil, fmt.Errorf("markov: line %d: state wants a name [init]", lineno+1)
+			}
+			name := fields[1]
+			if _, dup := m.index[name]; dup {
+				return nil, fmt.Errorf("markov: line %d: duplicate state %q", lineno+1, name)
+			}
+			m.index[name] = len(m.States)
+			m.States = append(m.States, name)
+			if len(fields) == 3 {
+				if fields[2] != "init" {
+					return nil, fmt.Errorf("markov: line %d: unknown state attribute %q", lineno+1, fields[2])
+				}
+				if m.Init >= 0 {
+					return nil, fmt.Errorf("markov: line %d: second init state", lineno+1)
+				}
+				m.Init = m.index[name]
+			}
+		case "rate":
+			// rate a -> b expr
+			rest := strings.TrimSpace(strings.TrimPrefix(line, "rate"))
+			arrow := strings.Index(rest, "->")
+			if arrow < 0 {
+				return nil, fmt.Errorf("markov: line %d: rate without '->'", lineno+1)
+			}
+			from := strings.TrimSpace(rest[:arrow])
+			tail := strings.Fields(strings.TrimSpace(rest[arrow+2:]))
+			if len(tail) < 2 {
+				return nil, fmt.Errorf("markov: line %d: rate wants 'a -> b expr'", lineno+1)
+			}
+			to := tail[0]
+			rates = append(rates, pendingRate{from, to, strings.Join(tail[1:], " "), lineno + 1})
+		default:
+			return nil, fmt.Errorf("markov: line %d: unknown directive %q", lineno+1, fields[0])
+		}
+	}
+	if len(m.States) == 0 {
+		return nil, fmt.Errorf("markov: model has no states")
+	}
+	if m.Init < 0 {
+		m.Init = 0
+	}
+	m.chain = NewCTMC(len(m.States))
+	for _, r := range rates {
+		fi, ok := m.index[r.from]
+		if !ok {
+			return nil, fmt.Errorf("markov: line %d: unknown state %q", r.line, r.from)
+		}
+		ti, ok := m.index[r.to]
+		if !ok {
+			return nil, fmt.Errorf("markov: line %d: unknown state %q", r.line, r.to)
+		}
+		v, err := evalExpr(r.expr, consts)
+		if err != nil {
+			return nil, fmt.Errorf("markov: line %d: %v", r.line, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("markov: line %d: negative rate %g", r.line, v)
+		}
+		if v > 0 {
+			if fi == ti {
+				return nil, fmt.Errorf("markov: line %d: self-loop rate", r.line)
+			}
+			m.chain.SetRate(fi, ti, v)
+		}
+	}
+	if err := m.chain.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// evalExpr evaluates `term (*|/ term)*` with numeric or named terms.
+func evalExpr(s string, consts map[string]float64) (float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("empty expression")
+	}
+	// Tokenize on * and / while keeping the operators.
+	var toks []string
+	cur := strings.Builder{}
+	for _, r := range s {
+		switch r {
+		case '*', '/':
+			toks = append(toks, strings.TrimSpace(cur.String()), string(r))
+			cur.Reset()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	toks = append(toks, strings.TrimSpace(cur.String()))
+	val, err := evalTerm(toks[0], consts)
+	if err != nil {
+		return 0, err
+	}
+	for i := 1; i < len(toks); i += 2 {
+		if i+1 >= len(toks) {
+			return 0, fmt.Errorf("trailing operator %q", toks[i])
+		}
+		rhs, err := evalTerm(toks[i+1], consts)
+		if err != nil {
+			return 0, err
+		}
+		switch toks[i] {
+		case "*":
+			val *= rhs
+		case "/":
+			if rhs == 0 {
+				return 0, fmt.Errorf("division by zero")
+			}
+			val /= rhs
+		}
+	}
+	return val, nil
+}
+
+func evalTerm(tok string, consts map[string]float64) (float64, error) {
+	if tok == "" {
+		return 0, fmt.Errorf("missing operand")
+	}
+	if v, err := strconv.ParseFloat(tok, 64); err == nil {
+		return v, nil
+	}
+	if v, ok := consts[tok]; ok {
+		return v, nil
+	}
+	return 0, fmt.Errorf("unknown constant %q", tok)
+}
+
+// stateIndex resolves a state name.
+func (m *Model) stateIndex(name string) (int, error) {
+	i, ok := m.index[name]
+	if !ok {
+		return 0, fmt.Errorf("markov: unknown state %q", name)
+	}
+	return i, nil
+}
+
+func (m *Model) initVec() []float64 {
+	p0 := make([]float64, len(m.States))
+	p0[m.Init] = 1
+	return p0
+}
+
+// Occupancy returns the expected fraction of [0,horizon] spent in the
+// named state (the Figure 10 queries).
+func (m *Model) Occupancy(state string, horizon float64) (float64, error) {
+	i, err := m.stateIndex(state)
+	if err != nil {
+		return 0, err
+	}
+	occ := m.chain.Occupancy(m.initVec(), horizon)
+	return occ[i], nil
+}
+
+// ProbAt returns P(in state at t = horizon) — the transient
+// probability PRISM writes as P=? [ F[t,t] s ].
+func (m *Model) ProbAt(state string, horizon float64) (float64, error) {
+	i, err := m.stateIndex(state)
+	if err != nil {
+		return 0, err
+	}
+	pi := m.chain.Transient(m.initVec(), horizon)
+	return pi[i], nil
+}
+
+// Steady returns the long-run probability of the named state.
+func (m *Model) Steady(state string) (float64, error) {
+	i, err := m.stateIndex(state)
+	if err != nil {
+		return 0, err
+	}
+	return m.chain.Stationary()[i], nil
+}
+
+// MTTF returns the mean time to first leaving the set of good states,
+// starting from the init state: the expected time to failure with the
+// failure states made absorbing.
+func (m *Model) MTTF(good ...string) (float64, error) {
+	isGood := make([]bool, len(m.States))
+	for _, g := range good {
+		i, err := m.stateIndex(g)
+		if err != nil {
+			return 0, err
+		}
+		isGood[i] = true
+	}
+	if !isGood[m.Init] {
+		return 0, nil
+	}
+	// Solve (I - restricted P) t = sojourn times over the good states
+	// via the embedded chain; equivalently solve -Q_g t = 1 on the
+	// good-good submatrix with Gaussian elimination (tiny systems).
+	var idx []int
+	for i, g := range isGood {
+		if g {
+			idx = append(idx, i)
+		}
+	}
+	n := len(idx)
+	a := make([][]float64, n)
+	b := make([]float64, n)
+	for r, i := range idx {
+		a[r] = make([]float64, n)
+		for c, j := range idx {
+			a[r][c] = -m.chain.Q[i][j]
+		}
+		b[r] = 1
+	}
+	t, err := solve(a, b)
+	if err != nil {
+		return 0, err
+	}
+	for r, i := range idx {
+		if i == m.Init {
+			return t[r], nil
+		}
+	}
+	return 0, fmt.Errorf("markov: init state lost")
+}
+
+// solve performs Gaussian elimination with partial pivoting.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if abs(a[r][col]) > abs(a[p][col]) {
+				p = r
+			}
+		}
+		if abs(a[p][col]) < 1e-300 {
+			return nil, fmt.Errorf("markov: singular system (absorbing good states?)")
+		}
+		a[col], a[p] = a[p], a[col]
+		b[col], b[p] = b[p], b[col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * x[c]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// HAFTModelSource renders the Figure 5 model for the given parameters
+// in the model language — the equivalent of the paper's PRISM file,
+// kept runnable for the examples and tests.
+func HAFTModelSource(p Params) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "const lambda = %g\n", p.FaultRate)
+	fmt.Fprintf(&sb, "const p_sdc = %g\n", p.PSDC)
+	fmt.Fprintf(&sb, "const p_crashed = %g\n", p.PCrashed)
+	fmt.Fprintf(&sb, "const p_correctable = %g\n", p.PCorrectable)
+	sb.WriteString("state correct init\nstate corrupted\nstate crashed\nstate correctable\n")
+	if p.PSDC > 0 {
+		fmt.Fprintf(&sb, "rate correct -> corrupted lambda * p_sdc\n")
+		fmt.Fprintf(&sb, "rate corrupted -> correct 1 / %g\n", p.ManualRecoverySec)
+		if p.DetectsCorruption && p.PCrashed > 0 {
+			fmt.Fprintf(&sb, "rate corrupted -> crashed lambda * p_crashed\n")
+		}
+	}
+	if p.PCrashed > 0 {
+		fmt.Fprintf(&sb, "rate correct -> crashed lambda * p_crashed\n")
+		fmt.Fprintf(&sb, "rate crashed -> correct 1 / %g\n", p.RebootSec)
+	}
+	if p.PCorrectable > 0 {
+		fmt.Fprintf(&sb, "rate correct -> correctable lambda * p_correctable\n")
+		fmt.Fprintf(&sb, "rate correctable -> correct 1 / %g\n", p.TxRecoverySec)
+	}
+	return sb.String()
+}

@@ -1,0 +1,161 @@
+package markov
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const twoState = `
+// simple repair model
+const fail = 0.5
+const repair = 2.0
+
+state up init
+state down
+
+rate up -> down fail
+rate down -> up repair
+`
+
+func TestParseModelTwoState(t *testing.T) {
+	m, err := ParseModel(twoState)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.States) != 2 || m.States[0] != "up" || m.Init != 0 {
+		t.Fatalf("model: %+v", m)
+	}
+	// Stationary availability = repair/(fail+repair) = 0.8.
+	st, err := m.Steady("up")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st-0.8) > 1e-6 {
+		t.Fatalf("steady(up) = %v, want 0.8", st)
+	}
+	// MTTF from up = 1/fail = 2.
+	mttf, err := m.MTTF("up")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mttf-2) > 1e-9 {
+		t.Fatalf("MTTF = %v, want 2", mttf)
+	}
+	// Occupancy over a long horizon approaches stationary.
+	occ, err := m.Occupancy("up", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(occ-0.8) > 1e-3 {
+		t.Fatalf("occupancy = %v", occ)
+	}
+	// Transient at t=0+ is ~1 for the init state.
+	p, err := m.ProbAt("up", 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.999 {
+		t.Fatalf("ProbAt(up, 0) = %v", p)
+	}
+}
+
+func TestParseModelErrors(t *testing.T) {
+	cases := []string{
+		"state a init\nrate a -> b 1\n",            // unknown state b
+		"state a init\nstate a\n",                  // duplicate state
+		"state a init\nstate b\nrate a -> b -1\n",  // negative rate... parsed as unknown const "-1"? ensure error
+		"const x\nstate a\n",                       // const without =
+		"bogus line\n",                             // unknown directive
+		"state a init\nstate b init\n",             // two inits
+		"state a init\nstate b\nrate a -> b 1 /\n", // trailing operator
+		"", // no states
+	}
+	for _, src := range cases {
+		if _, err := ParseModel(src); err == nil {
+			t.Errorf("ParseModel(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestModelExpressionArithmetic(t *testing.T) {
+	src := `
+const lambda = 2.0
+const p = 0.25
+state a init
+state b
+rate a -> b lambda * p * 2
+rate b -> a 1 / 0.5
+`
+	m, err := ParseModel(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a->b rate 1.0, b->a rate 2.0 -> steady(a) = 2/3.
+	st, _ := m.Steady("a")
+	if math.Abs(st-2.0/3) > 1e-6 {
+		t.Fatalf("steady = %v", st)
+	}
+}
+
+func TestHAFTModelSourceMatchesBuiltChain(t *testing.T) {
+	// The generated PRISM-style source must agree with Params.Build on
+	// the Figure 10 queries.
+	for _, rate := range []float64{0.01, 0.5, 1.0} {
+		p := Params{
+			FaultRate: rate,
+			PMasked:   0.242, PSDC: 0.011, PCrashed: 0.077, PCorrectable: 0.670,
+			DetectsCorruption: true,
+		}
+		p.PaperRecoveryTimes()
+		m, err := ParseModel(HAFTModelSource(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromModel, err := m.Occupancy("correct", 3600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, _, err := p.Evaluate(3600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fromModel-direct) > 1e-9 {
+			t.Fatalf("rate %v: model %v != direct %v", rate, fromModel, direct)
+		}
+	}
+}
+
+func TestMTTFMultiGoodStates(t *testing.T) {
+	// up1 -> up2 -> down: MTTF(up1,up2) = 1/1 + 1/2 = 1.5.
+	src := `
+state up1 init
+state up2
+state down
+rate up1 -> up2 1
+rate up2 -> down 2
+rate down -> up1 1
+`
+	m, err := ParseModel(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mttf, err := m.MTTF("up1", "up2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mttf-1.5) > 1e-9 {
+		t.Fatalf("MTTF = %v, want 1.5", mttf)
+	}
+	// Starting outside the good set: zero.
+	if v, _ := m.MTTF("up2"); v != 0 {
+		t.Fatalf("MTTF from bad init = %v", v)
+	}
+}
+
+func TestModelCommentsIgnored(t *testing.T) {
+	src := strings.ReplaceAll(twoState, "rate up -> down fail", "rate up -> down fail // note")
+	if _, err := ParseModel(src); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+// Package report renders the tables and series the benchmark harness
+// regenerates from the paper, as aligned plain text.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid with a header row.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddF appends a row from mixed values, formatting floats with prec
+// decimals.
+func (t *Table) AddF(prec int, cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.*f", prec, v)
+		case int:
+			row[i] = fmt.Sprintf("%d", v)
+		case int64:
+			row[i] = fmt.Sprintf("%d", v)
+		case uint64:
+			row[i] = fmt.Sprintf("%d", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title + "\n")
+		sb.WriteString(strings.Repeat("=", len(t.Title)) + "\n")
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			if i < len(widths) {
+				sb.WriteString(pad(c, widths[i]))
+			} else {
+				sb.WriteString(c)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series renders an x/y series (one per label) as aligned columns —
+// the textual stand-in for the paper's line plots.
+type Series struct {
+	Title  string
+	XName  string
+	X      []string
+	Labels []string
+	Y      map[string][]float64
+}
+
+// NewSeries allocates a series container.
+func NewSeries(title, xname string) *Series {
+	return &Series{Title: title, XName: xname, Y: map[string][]float64{}}
+}
+
+// Append adds a y value for the label (x rows are added with AddX).
+func (s *Series) Append(label string, y float64) {
+	if _, ok := s.Y[label]; !ok {
+		s.Labels = append(s.Labels, label)
+	}
+	s.Y[label] = append(s.Y[label], y)
+}
+
+// AddX appends an x tick.
+func (s *Series) AddX(x string) { s.X = append(s.X, x) }
+
+// String renders the series as a table with one column per label.
+func (s *Series) String() string {
+	t := Table{Title: s.Title, Header: append([]string{s.XName}, s.Labels...)}
+	for i, x := range s.X {
+		row := []string{x}
+		for _, l := range s.Labels {
+			ys := s.Y[l]
+			if i < len(ys) {
+				row = append(row, fmt.Sprintf("%.3f", ys[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t.String()
+}

@@ -1,0 +1,62 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := &Table{Title: "T", Header: []string{"name", "value"}}
+	tb.Add("short", "1")
+	tb.AddF(2, "a-much-longer-name", 3.14159, 42)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, underline, header, separator, 2 rows.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "3.14") {
+		t.Errorf("formatted float missing:\n%s", out)
+	}
+	// Columns align: "value" column starts at the same offset in the
+	// header and the long row.
+	hIdx := strings.Index(lines[2], "value")
+	if hIdx < 0 {
+		t.Fatal("header missing")
+	}
+	if !strings.HasPrefix(lines[5], "a-much-longer-name") {
+		t.Fatalf("row order wrong:\n%s", out)
+	}
+}
+
+func TestAddFTypes(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b", "c", "d", "e"}}
+	tb.AddF(1, "s", 1.5, 7, int64(8), uint64(9))
+	row := tb.Rows[0]
+	want := []string{"s", "1.5", "7", "8", "9"}
+	for i := range want {
+		if row[i] != want[i] {
+			t.Fatalf("row = %v", row)
+		}
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("S", "x")
+	s.AddX("1")
+	s.Append("a", 1.0)
+	s.Append("b", 2.0)
+	s.AddX("2")
+	s.Append("a", 3.0)
+	// b intentionally short: rendered as "-".
+	out := s.String()
+	if !strings.Contains(out, "1.000") || !strings.Contains(out, "2.000") {
+		t.Fatalf("series values missing:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing ragged-column placeholder:\n%s", out)
+	}
+	if s.Labels[0] != "a" || s.Labels[1] != "b" {
+		t.Fatalf("labels = %v", s.Labels)
+	}
+}

@@ -1,0 +1,85 @@
+package vm
+
+import "repro/internal/ir"
+
+// Breakpoint is a GDB-style conditional breakpoint: it fires when the
+// Occurrence-th dynamic execution of one static instruction is
+// reached, and runs Action with the core about to execute it. This is
+// the mechanism the paper's fault injector scripts use ("a conditional
+// breakpoint based on the specified instruction address and its
+// occurrence number", §4.2); the simpler FaultPlan targets the k-th
+// dynamic register write instead.
+//
+// Actions run *before* the instruction executes, like a debugger stop.
+type Breakpoint struct {
+	// Func and Block name the static location; Index is the
+	// instruction's position within the block.
+	Func  string
+	Block string
+	Index int
+	// Occurrence selects which dynamic hit fires the action (0 = the
+	// first).
+	Occurrence uint64
+	// Action runs at the stop. Use the machine accessors; mutating
+	// registers goes through CorruptRegister.
+	Action func(m *Machine, core int)
+
+	hits uint64
+	done bool
+}
+
+// AddBreakpoint registers a breakpoint. Breakpoints are matched by
+// (function, block, index); each fires at most once.
+func (m *Machine) AddBreakpoint(bp *Breakpoint) {
+	m.breakpoints = append(m.breakpoints, bp)
+}
+
+// checkBreakpoints fires matching breakpoints for the instruction the
+// core is about to execute.
+func (m *Machine) checkBreakpoints(c *core, fr *frame) {
+	for _, bp := range m.breakpoints {
+		if bp.done || bp.Func != fr.fn.Name || bp.Index != fr.instr {
+			continue
+		}
+		if fr.fn.Blocks[fr.block].Name != bp.Block {
+			continue
+		}
+		if bp.hits < bp.Occurrence {
+			bp.hits++
+			continue
+		}
+		bp.done = true
+		if bp.Action != nil {
+			bp.Action(m, c.id)
+		}
+	}
+}
+
+// CorruptRegister XORs mask into register v of the given core's
+// current frame — the injection primitive the breakpoint scripts use.
+// It reports whether the register exists in the active frame.
+func (m *Machine) CorruptRegister(core int, v ir.ValueID, mask uint64) bool {
+	c := m.cores[core]
+	if len(c.frames) == 0 {
+		return false
+	}
+	fr := &c.frames[len(c.frames)-1]
+	if int(v) < 0 || int(v) >= len(fr.regs) {
+		return false
+	}
+	fr.regs[v] ^= mask
+	return true
+}
+
+// ReadRegister returns register v of the core's current frame.
+func (m *Machine) ReadRegister(core int, v ir.ValueID) (uint64, bool) {
+	c := m.cores[core]
+	if len(c.frames) == 0 {
+		return 0, false
+	}
+	fr := &c.frames[len(c.frames)-1]
+	if int(v) < 0 || int(v) >= len(fr.regs) {
+		return 0, false
+	}
+	return fr.regs[v], true
+}

@@ -1,0 +1,394 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/htm"
+	"repro/internal/ir"
+)
+
+// execIntrinsic implements the runtime helper functions: the HAFT
+// transactification helpers of §3.2, the ILR detection point, lock and
+// lock-elision wrappers (§3.3), and the unprotected "external library"
+// surface (allocation, raw I/O, threading queries, barriers).
+func (m *Machine) execIntrinsic(c *core, in *ir.Instr) {
+	fr := &c.frames[len(c.frames)-1]
+	var opsReady uint64
+	vals := make([]uint64, len(in.Args))
+	for i, a := range in.Args {
+		v, r := fr.operand(a)
+		vals[i] = v
+		if r > opsReady {
+			opsReady = r
+		}
+	}
+	lat := cpu.IntrinsicLatency(in.Callee)
+	advance := func() {
+		fr.instr++
+		m.afterInstr(c)
+	}
+	setRes := func(v uint64) {
+		if in.Res != ir.NoValue {
+			fr.setReg(in.Res, v, c.sched.Now())
+		}
+	}
+
+	switch in.Callee {
+	case "tx.begin":
+		c.sched.Stall(lat)
+		if m.HTM.InTx(c.id) {
+			// Defensive flat nesting: commit the active transaction.
+			if !m.commitTx(c) {
+				return // rolled back; re-executes from snapshot
+			}
+		}
+		c.takeSnapshot()
+		c.attempts = 0
+		c.counter = 0
+		m.HTM.Begin(c.id, c.sched.Now())
+		c.txEntered = c.sched.Now()
+		fr.instr++
+
+	case "tx.end":
+		c.sched.Stall(lat)
+		if m.HTM.InTx(c.id) {
+			if !m.commitTx(c) {
+				return
+			}
+		}
+		c.snapshot = nil
+		fr.instr++
+
+	case "tx.cond_split":
+		threshold := int64(vals[0])
+		if m.Cfg.AdaptiveThreshold {
+			if c.dynLimit == 0 {
+				c.dynLimit, c.dynBase = threshold, threshold
+			}
+			threshold = c.dynLimit
+		}
+		c.sched.Issue(lat, opsReady)
+		if c.counter < threshold {
+			advance()
+			return
+		}
+		if m.HTM.InTx(c.id) {
+			if !m.commitTx(c) {
+				return
+			}
+		}
+		c.sched.Stall(cpu.IntrinsicLatency("tx.begin"))
+		c.takeSnapshot()
+		c.attempts = 0
+		c.counter = 0
+		m.HTM.Begin(c.id, c.sched.Now())
+		c.txEntered = c.sched.Now()
+		fr.instr++
+
+	case "tx.counter_inc":
+		c.sched.Issue(lat, opsReady)
+		c.counter += int64(vals[0])
+		advance()
+		return
+
+	case "ilr.fail":
+		// A failed ILR check: xabort inside a transaction, program
+		// termination outside (Figure 1c vs 1b).
+		if m.HTM.InTx(c.id) && !m.Cfg.DisableRecovery {
+			m.stats.ExplicitAborts++
+			c.hadExplicit = true
+			m.HTM.Abort(c.id, c.sched.Now(), htm.CauseExplicit)
+			m.recoverAfterAbort(c)
+			return
+		}
+		m.status = StatusILRDetected
+		return
+
+	case "haft.crash":
+		m.status = StatusILRDetected
+		return
+
+	case "lock.acquire":
+		if m.HTM.InTx(c.id) {
+			m.HTM.Unfriendly(c.id)
+			m.checkDoom(c)
+			return
+		}
+		m.lockAcquire(c, vals[0], lat, advance)
+		return
+
+	case "lock.release":
+		if m.HTM.InTx(c.id) {
+			m.HTM.Unfriendly(c.id)
+			m.checkDoom(c)
+			return
+		}
+		c.sched.Stall(lat)
+		m.lockRelease(c, vals[0])
+		if m.status != StatusOK {
+			return
+		}
+		fr.instr++
+
+	case "lock.acquire_elide":
+		if !m.HTM.InTx(c.id) {
+			// No active transaction: fall back to the real lock.
+			m.lockAcquire(c, vals[0], cpu.IntrinsicLatency("lock.acquire"), advance)
+			return
+		}
+		c.sched.Issue(lat, opsReady)
+		// Speculative elision: subscribe to the lock word so a real
+		// acquisition by another thread conflicts with us.
+		m.HTM.Read(c.id, vals[0], c.sched.Now())
+		if lk := m.locks[vals[0]]; lk != nil && lk.held {
+			// Lock actually held: cannot run the critical section
+			// speculatively alongside a lock holder.
+			m.HTM.Abort(c.id, c.sched.Now(), htm.CauseConflict)
+			m.recoverAfterAbort(c)
+			return
+		}
+		c.elided = append(c.elided, vals[0])
+		fr.instr++
+
+	case "lock.release_elide":
+		if !m.HTM.InTx(c.id) {
+			c.sched.Stall(cpu.IntrinsicLatency("lock.release"))
+			m.lockRelease(c, vals[0])
+			if m.status != StatusOK {
+				return
+			}
+			fr.instr++
+			m.afterInstr(c)
+			return
+		}
+		c.sched.Issue(lat, opsReady)
+		if i := indexOf(c.elided, vals[0]); i >= 0 {
+			c.elided = append(c.elided[:i], c.elided[i+1:]...)
+			fr.instr++
+		} else {
+			// Lock was acquired for real (fallback path) but a new
+			// transaction has begun since: releasing a real lock is an
+			// external operation, unfriendly to the transaction.
+			m.HTM.Unfriendly(c.id)
+			m.checkDoom(c)
+			return
+		}
+
+	case "malloc":
+		if m.HTM.InTx(c.id) {
+			m.HTM.Unfriendly(c.id)
+			m.checkDoom(c)
+			return
+		}
+		c.sched.Stall(lat)
+		setRes(m.Malloc(vals[0]))
+		fr.instr++
+
+	case "free":
+		c.sched.Issue(lat, opsReady)
+		fr.instr++
+
+	case "thread.id":
+		c.sched.Issue(lat, opsReady)
+		setRes(uint64(c.id))
+		fr.instr++
+
+	case "thread.count":
+		c.sched.Issue(lat, opsReady)
+		setRes(uint64(m.nthreads))
+		fr.instr++
+
+	case "barrier.wait":
+		if m.HTM.InTx(c.id) {
+			m.HTM.Unfriendly(c.id)
+			m.checkDoom(c)
+			return
+		}
+		m.barrierWait(c, vals[0], vals[1], lat)
+		return
+
+	case "sys.read", "sys.write":
+		if m.HTM.InTx(c.id) {
+			m.HTM.Unfriendly(c.id)
+			m.checkDoom(c)
+			return
+		}
+		c.sched.Stall(lat)
+		setRes(0)
+		fr.instr++
+
+	default:
+		m.crash("unknown intrinsic " + in.Callee)
+		return
+	}
+	m.afterInstr(c)
+}
+
+// commitTx attempts to commit the active transaction. On failure the
+// transaction has been rolled back and the retry/fallback policy
+// applied; the caller must return immediately (control flow was
+// restored to the snapshot). Reports whether the commit succeeded.
+func (m *Machine) commitTx(c *core) bool {
+	cause, ok := m.HTM.Commit(c.id, c.sched.Now(), func(addr, val uint64) {
+		m.mem[addr/8] = val
+	})
+	if ok {
+		if c.hadExplicit {
+			m.stats.Recovered++
+			c.hadExplicit = false
+		}
+		c.elided = c.elided[:0]
+		if m.Cfg.AdaptiveThreshold && c.dynLimit > 0 {
+			c.commitStreak++
+			if c.commitStreak >= 16 {
+				c.commitStreak = 0
+				grown := c.dynLimit + c.dynLimit/4
+				if max := c.dynBase * 4; grown > max {
+					grown = max
+				}
+				c.dynLimit = grown
+			}
+		}
+		return true
+	}
+	_ = cause
+	m.recoverAfterAbort(c)
+	return false
+}
+
+// recoverAfterAbort restores the snapshot and either retries the
+// transaction or enters the non-transactional fallback. The HTM-side
+// abort has already happened.
+func (m *Machine) recoverAfterAbort(c *core) {
+	if c.snapshot == nil {
+		m.crash("transaction abort without snapshot")
+		return
+	}
+	c.restoreSnapshot()
+	c.elided = c.elided[:0]
+	c.sched.Stall(cpu.IntrinsicLatency("tx.begin"))
+	if m.Cfg.AdaptiveThreshold && c.dynLimit > 0 {
+		c.commitStreak = 0
+		if c.dynLimit > 200 {
+			c.dynLimit /= 2
+		} else {
+			c.dynLimit = 100
+		}
+	}
+	c.attempts++
+	if c.attempts <= m.Cfg.MaxRetries {
+		m.HTM.Begin(c.id, c.sched.Now())
+		c.txEntered = c.sched.Now()
+		return
+	}
+	// Retry budget exhausted: execute non-transactionally until the
+	// next transaction begin (§3).
+	m.HTM.RecordFallback()
+}
+
+// lockAcquire implements the blocking mutex acquire.
+func (m *Machine) lockAcquire(c *core, addr uint64, lat uint64, advance func()) {
+	if addr == 0 {
+		m.crash("lock.acquire on null address")
+		return
+	}
+	if c.grantLock == addr {
+		// We were granted the lock by the releaser while blocked.
+		c.grantLock = 0
+		c.sched.Stall(lat)
+		advance()
+		return
+	}
+	lk := m.locks[addr]
+	if lk == nil {
+		lk = &lockState{}
+		m.locks[addr] = lk
+	}
+	if !lk.held {
+		lk.held = true
+		lk.owner = c.id
+		c.sched.Stall(lat)
+		advance()
+		return
+	}
+	if lk.owner == c.id {
+		m.crash("recursive lock.acquire")
+		return
+	}
+	lk.waiters = append(lk.waiters, c.id)
+	c.state = threadBlocked
+	c.waitLock = addr
+}
+
+// lockRelease implements the mutex release, handing the lock to the
+// first waiter if any.
+func (m *Machine) lockRelease(c *core, addr uint64) {
+	lk := m.locks[addr]
+	if lk == nil || !lk.held || lk.owner != c.id {
+		m.crash(fmt.Sprintf("release of lock %#x not held by thread %d", addr, c.id))
+		return
+	}
+	if len(lk.waiters) == 0 {
+		lk.held = false
+		return
+	}
+	next := lk.waiters[0]
+	lk.waiters = lk.waiters[1:]
+	lk.owner = next
+	w := m.cores[next]
+	w.state = threadRunnable
+	w.waitLock = 0
+	w.grantLock = addr
+	w.sched.AdvanceTo(c.sched.Now())
+}
+
+// barrierWait implements an n-thread barrier at the given address.
+func (m *Machine) barrierWait(c *core, addr, n uint64, lat uint64) {
+	if c.grantBarrier == addr {
+		c.grantBarrier = 0
+		c.sched.Stall(lat)
+		c.frames[len(c.frames)-1].instr++
+		m.afterInstr(c)
+		return
+	}
+	if n == 0 || addr == 0 {
+		m.crash("barrier.wait with invalid arguments")
+		return
+	}
+	bar := m.barriers[addr]
+	if bar == nil {
+		bar = &barrierState{need: int(n)}
+		m.barriers[addr] = bar
+	}
+	bar.arrived = append(bar.arrived, c.id)
+	if len(bar.arrived) < bar.need {
+		c.state = threadBlocked
+		c.waitBarrier = addr
+		return
+	}
+	// Last arriver: release everyone at the current time.
+	now := c.sched.Now()
+	for _, id := range bar.arrived {
+		w := m.cores[id]
+		if id != c.id {
+			w.state = threadRunnable
+			w.waitBarrier = 0
+			w.grantBarrier = addr
+			w.sched.AdvanceTo(now)
+		}
+	}
+	bar.arrived = bar.arrived[:0]
+	c.sched.Stall(lat)
+	c.frames[len(c.frames)-1].instr++
+	m.afterInstr(c)
+}
+
+func indexOf(s []uint64, v uint64) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,497 @@
+// Package vm executes IR programs on a simulated multi-core machine.
+//
+// The machine integrates three models:
+//
+//   - functional execution of the IR (registers, flat memory, threads,
+//     locks, barriers);
+//   - the HTM simulator (package htm), which provides the
+//     transactional read/write sets, conflict detection and rollback
+//     that HAFT's TX pass relies on;
+//   - the timing model (package cpu), a width-limited scoreboard that
+//     makes the cost of the ILR shadow flow depend on the program's
+//     spare instruction-level parallelism.
+//
+// Cores are interleaved deterministically by simulated time: at every
+// step the runnable core with the smallest local clock executes one
+// instruction. This gives a single coherent timeline, which both the
+// HTM conflict detection and the throughput numbers are derived from.
+//
+// The machine also hosts HAFT's runtime: the transactification helper
+// intrinsics (tx.begin, tx.end, tx.cond_split, tx.counter_inc), the
+// ILR detection point (ilr.fail), lock elision wrappers, and the
+// fault-injection hook used by package fault.
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/htm"
+	"repro/internal/ir"
+)
+
+// Status describes how a run ended.
+type Status uint8
+
+const (
+	// StatusOK: all threads returned normally.
+	StatusOK Status = iota
+	// StatusCrashed: the "OS" terminated the program — invalid memory
+	// access, division by zero, trap, call stack overflow, deadlock.
+	StatusCrashed
+	// StatusILRDetected: an ILR check failed outside a transaction (or
+	// with recovery disabled) and the program terminated itself.
+	StatusILRDetected
+	// StatusHung: the instruction budget was exhausted.
+	StatusHung
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusCrashed:
+		return "crashed"
+	case StatusILRDetected:
+		return "ilr-detected"
+	case StatusHung:
+		return "hung"
+	}
+	return "status?"
+}
+
+// Config parameterizes a machine.
+type Config struct {
+	// HTM is the transactional memory configuration.
+	HTM htm.Config
+	// IssueWidth is the per-core superscalar width (default 4).
+	IssueWidth int
+	// MaxRetries bounds transaction re-execution before the
+	// non-transactional fallback (paper default: 3).
+	MaxRetries int
+	// MaxDynInstrs aborts the run as hung after this many dynamic
+	// instructions across all cores (0 = 500M).
+	MaxDynInstrs uint64
+	// DisableRecovery makes ilr.fail terminate even inside a
+	// transaction; used to model the ILR-only configuration.
+	DisableRecovery bool
+	// AdaptiveThreshold enables the dynamic transaction-size
+	// adjustment sketched in the paper's future work (§7): each core
+	// tracks its own effective split threshold, halving it after an
+	// abort (down to 100) and growing it by 25% after 16 consecutive
+	// commits (up to 4x the static threshold). Code paths that abort a
+	// lot get small transactions; quiet paths amortize the begin/end
+	// cost over large ones.
+	AdaptiveThreshold bool
+}
+
+// DefaultConfig returns the standard machine configuration.
+func DefaultConfig() Config {
+	return Config{
+		HTM:          htm.DefaultConfig(),
+		IssueWidth:   cpu.DefaultWidth,
+		MaxRetries:   3,
+		MaxDynInstrs: 500_000_000,
+	}
+}
+
+// FaultPlan requests injection of a single event upset: when the
+// TargetIndex-th dynamic register-writing instruction (counted
+// globally across cores) completes, its result register is XORed with
+// Mask. Mirrors the paper's SDE/GDB injector (§4.2).
+type FaultPlan struct {
+	TargetIndex uint64
+	Mask        uint64
+	// TargetShadow redirects the injection to the shadow copy if the
+	// chosen instruction has one (diagnostic use only; the default
+	// uniform choice already covers shadow instructions since they are
+	// ordinary register writers).
+	_ struct{}
+
+	// Results, filled in by the machine:
+	Injected bool
+	Where    string // "func/block[i] op"
+}
+
+// RunStats aggregates measurements of one run.
+type RunStats struct {
+	// Cycles is the simulated duration of the run (max over cores).
+	Cycles uint64
+	// BusyCycles is the sum of per-core active cycles.
+	BusyCycles uint64
+	// DynInstrs counts executed instructions.
+	DynInstrs uint64
+	// RegWrites counts instructions that wrote a register (the fault
+	// injection population).
+	RegWrites uint64
+	// ExplicitAborts counts ILR-triggered transaction aborts
+	// (the recovery events).
+	ExplicitAborts uint64
+	// Recovered counts explicit aborts that were followed by a
+	// successful re-execution (commit of the retried transaction).
+	Recovered uint64
+	// CrashReason holds a diagnostic for StatusCrashed.
+	CrashReason string
+	// TxBusyCycles is the number of core cycles spent inside
+	// transactions (committed or aborted); TxBusyCycles/BusyCycles is
+	// the §5.6 coverage metric.
+	TxBusyCycles uint64
+}
+
+// ThreadSpec names the entry function and arguments of one thread.
+type ThreadSpec struct {
+	Func string
+	Args []uint64
+}
+
+// l1Sets is the number of direct-mapped cache sets (32 KB / 64 B).
+const l1Sets = 512
+
+// l1MissPenalty is the extra load latency on an L1 miss.
+const l1MissPenalty = 26
+
+// loadLatency consults the core's cache model and updates it.
+func (c *core) loadLatency(addr uint64, base uint64) uint64 {
+	line := addr / 64
+	idx := line % l1Sets
+	if c.l1tags[idx] == line+1 {
+		return base
+	}
+	c.l1tags[idx] = line + 1
+	return base + l1MissPenalty
+}
+
+// threadState is the scheduler view of a core.
+type threadState uint8
+
+const (
+	threadRunnable threadState = iota
+	threadBlocked              // waiting on a lock or barrier
+	threadDone
+)
+
+// frame is one activation record.
+type frame struct {
+	fn       *ir.Func
+	block    int
+	instr    int
+	prevBlk  int // predecessor block for phi resolution
+	regs     []uint64
+	ready    []uint64 // per-register readiness cycle
+	base     uint64   // frame base address in the stack region
+	retReg   ir.ValueID
+	retReady bool // caller expects a value
+}
+
+// txSnapshot captures the state restored on transaction abort.
+type txSnapshot struct {
+	frames []frame // deep copies
+}
+
+// core is one simulated logical CPU running one thread.
+type core struct {
+	id     int
+	sched  *cpu.Sched
+	frames []frame
+	state  threadState
+
+	// Transaction runtime (HAFT helpers).
+	attempts  int
+	snapshot  *txSnapshot
+	counter   int64 // thread-local instruction counter (§3.2)
+	txEntered uint64
+	// elided tracks locks elided by the active transaction.
+	elided []uint64
+
+	stackBase  uint64
+	stackLimit uint64
+
+	// l1tags is a direct-mapped 32 KB / 64 B-line cache model used only
+	// for load latency: a miss costs extra cycles. This is what makes
+	// cache-unfriendly code (matrixmul's column-order accesses) genuinely
+	// latency-bound, reproducing its very low native ILP (§5.2).
+	l1tags [l1Sets]uint64
+
+	waitLock    uint64 // lock address when blocked on a lock
+	waitBarrier uint64 // barrier address when blocked on a barrier
+
+	// grantLock / grantBarrier implement wakeup handoff: the releasing
+	// thread marks the waiter, which observes the grant when it
+	// re-executes the blocking intrinsic.
+	grantLock    uint64
+	grantBarrier uint64
+
+	// hadExplicit records that the active transaction attempt follows
+	// an explicit (ILR-detected) abort, so a successful commit counts
+	// as a recovery.
+	hadExplicit bool
+
+	// Adaptive-threshold state (Config.AdaptiveThreshold).
+	dynLimit     int64
+	dynBase      int64
+	commitStreak int
+
+	doneVal uint64
+}
+
+// lockState tracks one mutex.
+type lockState struct {
+	held    bool
+	owner   int
+	waiters []int // core ids in FIFO order
+}
+
+// barrierState tracks one barrier.
+type barrierState struct {
+	need    int
+	arrived []int
+}
+
+// Machine executes one module.
+type Machine struct {
+	Mod *ir.Module
+	Cfg Config
+	HTM *htm.System
+
+	mem      []uint64
+	memBytes uint64
+
+	cores    []*core
+	locks    map[uint64]*lockState
+	barriers map[uint64]*barrierState
+	heapNext uint64
+
+	output   []uint64
+	nthreads int
+
+	status      Status
+	stats       RunStats
+	fault       *FaultPlan
+	tracer      func(TraceEvent)
+	breakpoints []*Breakpoint
+
+	outputLimit int
+}
+
+// New builds a machine for the module with n threads.
+func New(m *ir.Module, nthreads int, cfg Config) *Machine {
+	if cfg.IssueWidth == 0 {
+		cfg.IssueWidth = cpu.DefaultWidth
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 3
+	}
+	if cfg.MaxDynInstrs == 0 {
+		cfg.MaxDynInstrs = 500_000_000
+	}
+	memBytes := m.Layout()
+	stackStart := memBytes
+	memBytes += uint64(nthreads) * m.StackBytes
+	mach := &Machine{
+		Mod:         m,
+		Cfg:         cfg,
+		HTM:         htm.NewSystem(nthreads, cfg.HTM),
+		mem:         make([]uint64, memBytes/8+1),
+		memBytes:    memBytes,
+		locks:       make(map[uint64]*lockState),
+		barriers:    make(map[uint64]*barrierState),
+		heapNext:    m.HeapBase,
+		outputLimit: 1 << 22,
+	}
+	for _, g := range m.Globals {
+		copy(mach.mem[g.Addr/8:], g.Init)
+	}
+	for i := 0; i < nthreads; i++ {
+		c := &core{
+			id:         i,
+			sched:      cpu.NewSched(cfg.IssueWidth),
+			state:      threadDone, // becomes runnable on Start
+			stackBase:  stackStart + uint64(i)*m.StackBytes,
+			stackLimit: stackStart + uint64(i+1)*m.StackBytes,
+		}
+		mach.cores = append(mach.cores, c)
+	}
+	return mach
+}
+
+// SetFaultPlan arms a single-fault injection (may be nil to disarm).
+func (m *Machine) SetFaultPlan(p *FaultPlan) { m.fault = p }
+
+// TraceEvent describes one executed register-writing instruction, in
+// the spirit of Intel SDE's debugtrace that the paper's fault injector
+// builds on (§4.2): the dynamic occurrence index, its location, and
+// the value written.
+type TraceEvent struct {
+	// Index is the dynamic register-write index (the same numbering
+	// FaultPlan.TargetIndex uses).
+	Index uint64
+	Core  int
+	Func  string
+	Block string
+	Op    ir.Op
+	Res   ir.ValueID
+	Value uint64
+	Cycle uint64
+}
+
+// SetTracer installs a per-register-write callback (nil to disable).
+// Tracing is the reference-run side of the two-step fault-injection
+// protocol and the backing for haftc's -trace flag.
+func (m *Machine) SetTracer(fn func(TraceEvent)) { m.tracer = fn }
+
+// Output returns the externalized output stream.
+func (m *Machine) Output() []uint64 { return m.output }
+
+// Stats returns the run statistics.
+func (m *Machine) Stats() RunStats { return m.stats }
+
+// Status returns the final run status.
+func (m *Machine) Status() Status { return m.status }
+
+// Coverage returns the fraction (0..1) of busy cycles spent inside
+// hardware transactions — the §5.6 code-coverage metric.
+func (m *Machine) Coverage() float64 {
+	if m.stats.BusyCycles == 0 {
+		return 0
+	}
+	return float64(m.stats.TxBusyCycles) / float64(m.stats.BusyCycles)
+}
+
+// Run starts one thread per spec and executes to completion. It
+// returns the final status.
+func (m *Machine) Run(specs ...ThreadSpec) Status {
+	if len(specs) > len(m.cores) {
+		panic("vm: more thread specs than cores")
+	}
+	m.nthreads = len(specs)
+	for i, spec := range specs {
+		f := m.Mod.Func(spec.Func)
+		if f == nil {
+			panic("vm: unknown entry function " + spec.Func)
+		}
+		if len(spec.Args) != f.NParams {
+			panic(fmt.Sprintf("vm: entry %s wants %d args, got %d", spec.Func, f.NParams, len(spec.Args)))
+		}
+		c := m.cores[i]
+		c.state = threadRunnable
+		fr := frame{
+			fn:    f,
+			regs:  make([]uint64, f.NValues),
+			ready: make([]uint64, f.NValues),
+			base:  c.stackBase,
+		}
+		copy(fr.regs, spec.Args)
+		c.frames = append(c.frames[:0], fr)
+	}
+	m.status = StatusOK
+	m.loop()
+	return m.status
+}
+
+// loop is the global scheduler: repeatedly run the runnable core with
+// the smallest local clock.
+func (m *Machine) loop() {
+	for {
+		if m.stats.DynInstrs > m.Cfg.MaxDynInstrs {
+			m.status = StatusHung
+			break
+		}
+		var pick *core
+		anyAlive := false
+		for _, c := range m.cores {
+			if c.state == threadDone {
+				continue
+			}
+			anyAlive = true
+			if c.state != threadRunnable {
+				continue
+			}
+			if pick == nil || c.sched.Now() < pick.sched.Now() {
+				pick = c
+			}
+		}
+		if pick == nil {
+			if anyAlive {
+				// All remaining threads blocked: deadlock.
+				m.crash("deadlock: all threads blocked")
+			}
+			break
+		}
+		m.step(pick)
+		if m.status != StatusOK {
+			break
+		}
+	}
+	// Final accounting.
+	for _, c := range m.cores {
+		n := c.sched.Now()
+		if n > m.stats.Cycles {
+			m.stats.Cycles = n
+		}
+		m.stats.BusyCycles += c.sched.Busy()
+	}
+	m.stats.TxBusyCycles = m.HTM.Stats.TxCycles + m.HTM.Stats.WastedCycles
+}
+
+// crash terminates the run with StatusCrashed.
+func (m *Machine) crash(reason string) {
+	if m.status == StatusOK {
+		m.status = StatusCrashed
+		m.stats.CrashReason = reason
+	}
+}
+
+// memRead reads the word at a byte address through the HTM layer.
+func (m *Machine) memRead(c *core, addr uint64) (uint64, bool) {
+	if addr%8 != 0 || addr < 8 || addr+8 > m.memBytes {
+		m.crash(fmt.Sprintf("invalid load at %#x", addr))
+		return 0, false
+	}
+	if v, buffered := m.HTM.Read(c.id, addr, c.sched.Now()); buffered {
+		return v, true
+	}
+	return m.mem[addr/8], true
+}
+
+// memWrite writes the word at a byte address through the HTM layer.
+func (m *Machine) memWrite(c *core, addr, val uint64) bool {
+	if addr%8 != 0 || addr < 8 || addr+8 > m.memBytes {
+		m.crash(fmt.Sprintf("invalid store at %#x", addr))
+		return false
+	}
+	if buffered := m.HTM.Write(c.id, addr, val, c.sched.Now()); !buffered {
+		m.mem[addr/8] = val
+	}
+	return true
+}
+
+// Malloc exposes the bump allocator for host-side setup of dynamic
+// data structures (tests and workload initialization).
+func (m *Machine) Malloc(bytes uint64) uint64 {
+	addr := m.heapNext
+	if r := addr % 64; r != 0 {
+		addr += 64 - r
+	}
+	if addr+bytes > m.Mod.HeapBase+m.Mod.HeapBytes {
+		return 0
+	}
+	m.heapNext = addr + bytes
+	return addr
+}
+
+// Poke writes a word directly to memory (host-side setup only).
+func (m *Machine) Poke(addr, val uint64) {
+	if addr%8 != 0 || addr+8 > m.memBytes {
+		panic(fmt.Sprintf("vm: Poke at invalid address %#x", addr))
+	}
+	m.mem[addr/8] = val
+}
+
+// Peek reads a word directly from memory (host-side inspection only).
+func (m *Machine) Peek(addr uint64) uint64 {
+	if addr%8 != 0 || addr+8 > m.memBytes {
+		panic(fmt.Sprintf("vm: Peek at invalid address %#x", addr))
+	}
+	return m.mem[addr/8]
+}

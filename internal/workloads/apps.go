@@ -1,0 +1,562 @@
+package workloads
+
+import (
+	"repro/internal/ir"
+	"repro/internal/ycsb"
+)
+
+// This file implements the real-world case studies of §6 as IR
+// programs: a Memcached-like key-value server driven by YCSB request
+// streams, a LogCabin/RAFT-like replicated log, an Apache-like static
+// web server, a LevelDB-like embedded key-value library, and a
+// SQLite-like embedded SQL engine whose operator dispatch goes through
+// function pointers.
+//
+// Each server processes a pre-generated request stream (package ycsb)
+// partitioned across its worker threads; replies are buffered and
+// flushed in batches through sys.write, the externalization syscall.
+// Throughput is requests / simulated seconds.
+
+// SyncMode selects the synchronization variant of the KV apps
+// (Memcached ships both, §6.1).
+type SyncMode uint8
+
+const (
+	// SyncAtomics uses C11-style atomic loads/stores on table slots.
+	SyncAtomics SyncMode = iota
+	// SyncLocks uses striped pthread-style mutexes.
+	SyncLocks
+)
+
+// McConfig parameterizes the Memcached-like server.
+type McConfig struct {
+	// Records is the key range (paper: 1 M keys for YCSB, 1,000 for
+	// the mcblaster/SEI comparison).
+	Records int
+	// Requests is the total number of queries across all threads.
+	Requests int
+	// Workload is the YCSB mix.
+	Workload ycsb.Workload
+	// ValueWork models the value size: mixing rounds per request
+	// (4 ≈ 32 B values, 16 ≈ 128 B).
+	ValueWork int
+	// Sync selects atomics vs locks.
+	Sync SyncMode
+	// LockStripes is the number of striped locks (1 = the coarse
+	// locking of Memcached 1.4.15 used in the SEI comparison).
+	LockStripes int
+	// Seed makes the request stream reproducible.
+	Seed int64
+}
+
+// DefaultMcConfig mirrors §6.1: 16 B keys, 32 B values.
+func DefaultMcConfig(w ycsb.Workload, sync SyncMode) McConfig {
+	return McConfig{
+		Records:     1024,
+		Requests:    6144,
+		Workload:    w,
+		ValueWork:   4,
+		Sync:        sync,
+		LockStripes: 64,
+		Seed:        7,
+	}
+}
+
+func init() {
+	register("memcached", "apps", func(s int) *Program {
+		cfg := DefaultMcConfig(ycsb.WorkloadA(1024), SyncAtomics)
+		cfg.Requests = int(sz(int64(cfg.Requests), s))
+		return Memcached(cfg)
+	})
+	register("logcabin", "apps", BuildLogCabin)
+	register("apache", "apps", BuildApache)
+	register("leveldb", "apps", func(s int) *Program { return BuildLevelDB(s, ycsb.WorkloadA(1024)) })
+	register("sqlite", "apps", func(s int) *Program { return BuildSQLite(s, ycsb.WorkloadA(512)) })
+}
+
+// encodeRequests pre-generates the request stream into a global.
+func encodeRequests(m *ir.Module, name string, w ycsb.Workload, n int, seed int64) *ir.Global {
+	gen := ycsb.NewGenerator(w, seed)
+	g := m.AddGlobal(name, int64(n)*8)
+	g.Align = 64
+	g.Init = make([]uint64, n)
+	for i, r := range gen.Stream(n) {
+		g.Init[i] = ycsb.Encode(r)
+	}
+	return g
+}
+
+// emitReplySink stores a reply into the per-thread reply buffer and
+// sends it through sys.write — one response message per request, as a
+// real server does. The per-request send also bounds every recovery
+// transaction to a single request, which is what keeps HAFT's
+// conflict rate low on skewed key distributions.
+func (b *builder) emitReplySink(replyBuf ir.ValueID, i, reply ir.ValueID, accA ir.ValueID) {
+	slot := b.And(ir.Reg(i), ir.ConstInt(63))
+	ra := b.addr(ir.Reg(replyBuf), slot, 8, 0)
+	b.Store(ir.Reg(ra), ir.Reg(reply))
+	acc := b.Load(ir.Reg(accA))
+	m1 := b.Mul(ir.Reg(acc), ir.ConstInt(31))
+	ns := b.Add(ir.Reg(m1), ir.Reg(reply))
+	b.Store(ir.Reg(accA), ir.Reg(ns))
+	b.CallVoid("sys.write", ir.Reg(ra), ir.ConstInt(8))
+}
+
+// publishAndEmit writes the thread's checksum to its padded slot and
+// has thread 0 emit the merged total.
+func (b *builder) publishAndEmit(tid ir.ValueID, outG *ir.Global, barG *ir.Global, accA ir.ValueID) {
+	my := b.addr(ir.ConstUint(outG.Addr), tid, padStride(8), 0)
+	v := b.Load(ir.Reg(accA))
+	b.Store(ir.Reg(my), ir.Reg(v))
+	b.finishOnThread0(tid, ir.ConstUint(barG.Addr), func() {
+		nt := b.Call("thread.count")
+		tot := b.FrameAddr(b.Alloca(8))
+		b.Store(ir.Reg(tot), ir.ConstInt(0))
+		b.countedLoop(ir.ConstInt(0), ir.Reg(nt), 1, func(t ir.ValueID) {
+			th := b.addr(ir.ConstUint(outG.Addr), t, padStride(8), 0)
+			tv := b.Load(ir.Reg(th))
+			o := b.Load(ir.Reg(tot))
+			x := b.Xor(ir.Reg(o), ir.Reg(tv))
+			s := b.Add(ir.Reg(x), ir.ConstInt(1))
+			b.Store(ir.Reg(tot), ir.Reg(s))
+		})
+		fv := b.Load(ir.Reg(tot))
+		b.Out(ir.Reg(fv))
+	})
+}
+
+// Memcached builds the Memcached-like KV server (§6.1).
+func Memcached(cfg McConfig) *Program {
+	buckets := int64(1)
+	for buckets < int64(cfg.Records)*2 {
+		buckets *= 2
+	}
+	m := ir.NewModule()
+	table := m.AddGlobal("table", buckets*8)
+	table.Align = 64
+	stripes := int64(cfg.LockStripes)
+	if stripes < 1 {
+		stripes = 1
+	}
+	locks := m.AddGlobal("locks", stripes*64)
+	locks.Align = 64
+	reqs := encodeRequests(m, "reqs", cfg.Workload, cfg.Requests, cfg.Seed)
+	replies := m.AddGlobal("replies", int64(maxThreads)*64*8)
+	replies.Align = 64
+	outG := m.AddGlobal("outv", padStride(8)*maxThreads)
+	outG.Align = 64
+	bar := m.AddGlobal("bar", 8)
+	m.Layout()
+
+	// The request handler: hash the key, serialize/deserialize the
+	// value (ValueWork mixing rounds), and access the table under the
+	// configured synchronization. Marked as an event handler so the
+	// SEI baseline pass knows what to harden.
+	hb := newWorker("mc_handle", 1)
+	req := hb.Param(0)
+	isW := hb.Shr(ir.Reg(req), ir.ConstInt(63))
+	key := hb.And(ir.Reg(req), ir.ConstUint(^uint64(0)>>1))
+	h1 := hb.Mul(ir.Reg(key), ir.ConstUint(0x9E3779B97F4A7C15))
+	h2 := hb.Shr(ir.Reg(h1), ir.ConstInt(32))
+	bkt := hb.And(ir.Reg(h2), ir.ConstInt(buckets-1))
+	// Value (de)serialization work.
+	vA := hb.FrameAddr(hb.Alloca(8))
+	hb.Store(ir.Reg(vA), ir.Reg(h1))
+	hb.countedLoop(ir.ConstInt(0), ir.ConstInt(int64(cfg.ValueWork)), 1, func(r ir.ValueID) {
+		v := hb.Load(ir.Reg(vA))
+		m1 := hb.Mul(ir.Reg(v), ir.ConstInt(0x5851F42D))
+		s1 := hb.Shr(ir.Reg(m1), ir.ConstInt(17))
+		x1 := hb.Xor(ir.Reg(m1), ir.Reg(s1))
+		a1 := hb.Add(ir.Reg(x1), ir.Reg(r))
+		hb.Store(ir.Reg(vA), ir.Reg(a1))
+	})
+	val := hb.Load(ir.Reg(vA))
+	slotAddr := hb.addr(ir.ConstUint(table.Addr), bkt, 8, 0)
+	stripe := hb.And(ir.Reg(bkt), ir.ConstInt(stripes-1))
+	lockAddr := hb.addr(ir.ConstUint(locks.Addr), stripe, 64, 0)
+	wBlk := hb.Block("put")
+	rBlk := hb.Block("get")
+	retBlk := hb.Block("reply")
+	replyA := hb.FrameAddr(hb.Alloca(8))
+	hb.Br(ir.Reg(isW), wBlk, rBlk)
+	switch cfg.Sync {
+	case SyncAtomics:
+		hb.SetBlock(wBlk)
+		hb.AStore(ir.Reg(slotAddr), ir.Reg(val))
+		hb.Store(ir.Reg(replyA), ir.Reg(val))
+		hb.Jmp(retBlk)
+		hb.SetBlock(rBlk)
+		got := hb.ALoad(ir.Reg(slotAddr))
+		hb.Store(ir.Reg(replyA), ir.Reg(got))
+		hb.Jmp(retBlk)
+	case SyncLocks:
+		hb.SetBlock(wBlk)
+		hb.CallVoid("lock.acquire", ir.Reg(lockAddr))
+		hb.Store(ir.Reg(slotAddr), ir.Reg(val))
+		hb.CallVoid("lock.release", ir.Reg(lockAddr))
+		hb.Store(ir.Reg(replyA), ir.Reg(val))
+		hb.Jmp(retBlk)
+		hb.SetBlock(rBlk)
+		hb.CallVoid("lock.acquire", ir.Reg(lockAddr))
+		got := hb.Load(ir.Reg(slotAddr))
+		hb.CallVoid("lock.release", ir.Reg(lockAddr))
+		hb.Store(ir.Reg(replyA), ir.Reg(got))
+		hb.Jmp(retBlk)
+	}
+	hb.SetBlock(retBlk)
+	rv := hb.Load(ir.Reg(replyA))
+	shaped := hb.Xor(ir.Reg(rv), ir.Reg(key))
+	hb.Ret(ir.Reg(shaped))
+	handler := hb.Done()
+	handler.Attrs.Local = true
+	handler.Attrs.EventHandler = true
+	m.AddFunc(handler)
+
+	b := newWorker("mc_worker", 0)
+	tid, lo, hi := b.threadRange(ir.ConstInt(int64(cfg.Requests)))
+	myReplies := b.addr(ir.ConstUint(replies.Addr), tid, 64*8, 0)
+	accA := b.FrameAddr(b.Alloca(8))
+	b.Store(ir.Reg(accA), ir.ConstInt(0))
+	b.countedLoop(ir.Reg(lo), ir.Reg(hi), 1, func(i ir.ValueID) {
+		ra := b.addr(ir.ConstUint(reqs.Addr), i, 8, 0)
+		rw := b.Load(ir.Reg(ra))
+		reply := b.Call("mc_handle", ir.Reg(rw))
+		b.emitReplySink(myReplies, i, reply, accA)
+	})
+	b.publishAndEmit(tid, outG, bar, accA)
+	worker := b.Done()
+	// The event loop is part of what SEI's manual adaptation hardens
+	// (it owns the reply batching and sends).
+	worker.Attrs.EventHandler = true
+	return finishProgram(m, worker, nil, 2000)
+}
+
+// BuildLogCabin models the LogCabin/RAFT case study: worker threads
+// serialize entries and append them to a shared, lock-protected log,
+// syncing to "disk" in batches — the benchmark shipped with LogCabin
+// repeatedly writes values to a memory-mapped file (§6.2).
+func BuildLogCabin(scale int) *Program {
+	entries := sz(3072, scale)
+	const entryWords = 8
+
+	const segments = 8 // striped log segments, like LogCabin's per-client sessions
+	m := ir.NewModule()
+	logG := m.AddGlobal("log", (entries+8*segments)*entryWords*8)
+	logG.Align = 64
+	logPos := m.AddGlobal("logpos", segments*64)
+	logPos.Align = 64
+	lk := m.AddGlobal("lk", segments*64)
+	lk.Align = 64
+	outG := m.AddGlobal("outv", padStride(8)*maxThreads)
+	outG.Align = 64
+	bar := m.AddGlobal("bar", 8)
+	m.Layout()
+
+	b := newWorker("logcabin_worker", 0)
+	tid, lo, hi := b.threadRange(ir.ConstInt(entries))
+	accA := b.FrameAddr(b.Alloca(8))
+	b.Store(ir.Reg(accA), ir.ConstInt(0))
+	b.countedLoop(ir.Reg(lo), ir.Reg(hi), 1, func(i ir.ValueID) {
+		// Serialize the entry (protected compute).
+		eA := b.FrameAddr(b.Alloca(8))
+		seed := b.Add(ir.Reg(i), ir.ConstInt(0xC0FFEE))
+		b.Store(ir.Reg(eA), ir.Reg(seed))
+		b.countedLoop(ir.ConstInt(0), ir.ConstInt(24), 1, func(r ir.ValueID) {
+			v := b.Load(ir.Reg(eA))
+			nv := b.lcg(v)
+			x := b.Xor(ir.Reg(nv), ir.Reg(r))
+			b.Store(ir.Reg(eA), ir.Reg(x))
+		})
+		ev := b.Load(ir.Reg(eA))
+		// Append under the segment lock.
+		seg := b.And(ir.Reg(tid), ir.ConstInt(segments-1))
+		segLock := b.addr(ir.ConstUint(lk.Addr), seg, 64, 0)
+		segPos := b.addr(ir.ConstUint(logPos.Addr), seg, 64, 0)
+		b.CallVoid("lock.acquire", ir.Reg(segLock))
+		pos := b.Load(ir.Reg(segPos))
+		npos := b.Add(ir.Reg(pos), ir.ConstInt(1))
+		b.Store(ir.Reg(segPos), ir.Reg(npos))
+		segBase := b.Mul(ir.Reg(seg), ir.ConstInt((entries/segments+8)*entryWords*8))
+		logBase := b.Add(ir.ConstUint(logG.Addr), ir.Reg(segBase))
+		posClamp := b.Rem(ir.Reg(pos), ir.ConstInt(entries/segments))
+		slot := b.addr(ir.Reg(logBase), posClamp, entryWords*8, 0)
+		for w := int64(0); w < entryWords; w++ {
+			wv := b.Add(ir.Reg(ev), ir.ConstInt(w))
+			wa := b.Add(ir.Reg(slot), ir.ConstInt(w*8))
+			b.Store(ir.Reg(wa), ir.Reg(wv))
+		}
+		b.CallVoid("lock.release", ir.Reg(segLock))
+		// Frequent fsync: LogCabin's benchmark is I/O-bound on the
+		// memory-mapped file writes.
+		low := b.And(ir.Reg(i), ir.ConstInt(3))
+		isF := b.Cmp(ir.PredEQ, ir.Reg(low), ir.ConstInt(3))
+		fs := b.Block("fsync")
+		cont := b.Block("fscont")
+		b.Br(ir.Reg(isF), fs, cont)
+		b.SetBlock(fs)
+		b.CallVoid("sys.write", ir.Reg(slot), ir.ConstInt(entryWords*8))
+		b.Jmp(cont)
+		b.SetBlock(cont)
+		acc := b.Load(ir.Reg(accA))
+		x := b.Xor(ir.Reg(acc), ir.Reg(ev))
+		b.Store(ir.Reg(accA), ir.Reg(x))
+	})
+	b.publishAndEmit(tid, outG, bar, accA)
+	return finishProgram(m, b.Done(), nil, 2000)
+}
+
+// BuildApache models the Apache case study: request parsing is
+// protected application code, but serving the static page is one big
+// copy inside an unprotected library (Apache's extensive use of
+// external libraries keeps HAFT's overhead at ~10%, §6.2).
+func BuildApache(scale int) *Program {
+	requests := sz(384, scale)
+	const pageWords = 512 // the 1 MB page, scaled to simulation size
+
+	m := ir.NewModule()
+	page := m.AddGlobal("page", pageWords*8)
+	page.Align = 64
+	netbuf := m.AddGlobal("netbuf", int64(maxThreads)*pageWords*8)
+	netbuf.Align = 64
+	outG := m.AddGlobal("outv", padStride(8)*maxThreads)
+	outG.Align = 64
+	bar := m.AddGlobal("bar", 8)
+	m.Layout()
+
+	// Unprotected sendfile: copy the page into the connection buffer.
+	lb := newWorker("lib_sendfile", 2) // dst, src
+	lb.countedLoop(ir.ConstInt(0), ir.ConstInt(pageWords), 1, func(i ir.ValueID) {
+		sa := lb.addr(ir.Reg(lb.Param(1)), i, 8, 0)
+		v := lb.Load(ir.Reg(sa))
+		da := lb.addr(ir.Reg(lb.Param(0)), i, 8, 0)
+		lb.Store(ir.Reg(da), ir.Reg(v))
+	})
+	lb.Ret()
+	libFn := lb.Done()
+	libFn.Attrs.Unprotected = true
+	m.AddFunc(libFn)
+
+	b := newWorker("apache_worker", 0)
+	tid, lo, hi := b.threadRange(ir.ConstInt(requests))
+	// Initialize the page once (thread 0's slice covers it; page is
+	// tiny relative to request work).
+	_, plo, phi := b.threadRange(ir.ConstInt(pageWords))
+	b.initArray(ir.ConstUint(page.Addr), plo, phi)
+	b.Call("barrier.wait", ir.ConstUint(bar.Addr), ir.Reg(b.Call("thread.count")))
+
+	myBuf := b.addr(ir.ConstUint(netbuf.Addr), tid, pageWords*8, 0)
+	accA := b.FrameAddr(b.Alloca(8))
+	b.Store(ir.Reg(accA), ir.ConstInt(0))
+	b.countedLoop(ir.Reg(lo), ir.Reg(hi), 1, func(i ir.ValueID) {
+		// Parse the request line (protected).
+		pA := b.FrameAddr(b.Alloca(8))
+		seed := b.Add(ir.Reg(i), ir.ConstInt(0xBEEF))
+		b.Store(ir.Reg(pA), ir.Reg(seed))
+		b.countedLoop(ir.ConstInt(0), ir.ConstInt(12), 1, func(r ir.ValueID) {
+			v := b.Load(ir.Reg(pA))
+			nv := b.lcg(v)
+			b.Store(ir.Reg(pA), ir.Reg(nv))
+		})
+		// Serve the page (unprotected library) and send it.
+		b.CallVoid("lib_sendfile", ir.Reg(myBuf), ir.ConstUint(page.Addr))
+		b.CallVoid("sys.write", ir.Reg(myBuf), ir.ConstInt(pageWords*8))
+		pv := b.Load(ir.Reg(pA))
+		first := b.Load(ir.Reg(myBuf))
+		acc := b.Load(ir.Reg(accA))
+		x1 := b.Xor(ir.Reg(acc), ir.Reg(pv))
+		x2 := b.Xor(ir.Reg(x1), ir.Reg(first))
+		b.Store(ir.Reg(accA), ir.Reg(x2))
+	})
+	b.publishAndEmit(tid, outG, bar, accA)
+	return finishProgram(m, b.Done(), nil, 2000, "lib_sendfile")
+}
+
+// BuildLevelDB models the LevelDB case study: an embedded KV library
+// with a memtable probe plus an SSTable scan on miss, under striped
+// locks (§6.2; evaluated with YCSB A and D).
+func BuildLevelDB(scale int, w ycsb.Workload) *Program {
+	requests := int(sz(4096, scale))
+	const memBuckets = 2048
+	const sstWords = 32
+
+	m := ir.NewModule()
+	mem := m.AddGlobal("memtable", memBuckets*8)
+	mem.Align = 64
+	sst := m.AddGlobal("sstable", sstWords*64*8)
+	sst.Align = 64
+	locks := m.AddGlobal("locks", 64*64)
+	locks.Align = 64
+	reqs := encodeRequests(m, "reqs", w, requests, 11)
+	outG := m.AddGlobal("outv", padStride(8)*maxThreads)
+	outG.Align = 64
+	bar := m.AddGlobal("bar", 8)
+	m.Layout()
+
+	b := newWorker("leveldb_worker", 0)
+	tid, lo, hi := b.threadRange(ir.ConstInt(int64(requests)))
+	// Seed the SSTable.
+	_, slo, shi := b.threadRange(ir.ConstInt(sstWords * 64))
+	b.initArray(ir.ConstUint(sst.Addr), slo, shi)
+	b.Call("barrier.wait", ir.ConstUint(bar.Addr), ir.Reg(b.Call("thread.count")))
+
+	accA := b.FrameAddr(b.Alloca(8))
+	b.Store(ir.Reg(accA), ir.ConstInt(0))
+	b.countedLoop(ir.Reg(lo), ir.Reg(hi), 1, func(i ir.ValueID) {
+		ra := b.addr(ir.ConstUint(reqs.Addr), i, 8, 0)
+		rw := b.Load(ir.Reg(ra))
+		isW := b.Shr(ir.Reg(rw), ir.ConstInt(63))
+		key := b.And(ir.Reg(rw), ir.ConstUint(^uint64(0)>>1))
+		h1 := b.Mul(ir.Reg(key), ir.ConstUint(0x9E3779B97F4A7C15))
+		h2 := b.Shr(ir.Reg(h1), ir.ConstInt(33))
+		bkt := b.And(ir.Reg(h2), ir.ConstInt(memBuckets-1))
+		stripe := b.And(ir.Reg(bkt), ir.ConstInt(63))
+		lockAddr := b.addr(ir.ConstUint(locks.Addr), stripe, 64, 0)
+		slotAddr := b.addr(ir.ConstUint(mem.Addr), bkt, 8, 0)
+		vA := b.FrameAddr(b.Alloca(8))
+		wBlk := b.Block("ldput")
+		rBlk := b.Block("ldget")
+		joinB := b.Block("ldjoin")
+		b.Br(ir.Reg(isW), wBlk, rBlk)
+		// PUT: atomic memtable publish (LevelDB's skiplist insert uses
+		// release stores); the write lock is only taken on memtable
+		// rotation, every 256th write.
+		b.SetBlock(wBlk)
+		rot := b.And(ir.Reg(i), ir.ConstInt(255))
+		isRot := b.Cmp(ir.PredEQ, ir.Reg(rot), ir.ConstInt(255))
+		rotB := b.Block("ldrot")
+		plainB := b.Block("ldplain")
+		b.Br(ir.Reg(isRot), rotB, plainB)
+		b.SetBlock(rotB)
+		b.CallVoid("lock.acquire", ir.Reg(lockAddr))
+		b.AStore(ir.Reg(slotAddr), ir.Reg(h1))
+		b.CallVoid("lock.release", ir.Reg(lockAddr))
+		b.Jmp(plainB)
+		b.SetBlock(plainB)
+		b.AStore(ir.Reg(slotAddr), ir.Reg(h1))
+		b.Store(ir.Reg(vA), ir.Reg(h1))
+		b.Jmp(joinB)
+		// GET: lock-free atomic probe of the memtable (LevelDB reads
+		// don't take the write lock); on "miss" (empty slot) scan an
+		// SSTable block (the read amplification of an LSM).
+		b.SetBlock(rBlk)
+		got := b.ALoad(ir.Reg(slotAddr))
+		isMiss := b.Cmp(ir.PredEQ, ir.Reg(got), ir.ConstInt(0))
+		scanB := b.Block("ldscan")
+		hitB := b.Block("ldhit")
+		b.Br(ir.Reg(isMiss), scanB, hitB)
+		b.SetBlock(scanB)
+		blkIdx := b.And(ir.Reg(h2), ir.ConstInt(63))
+		base := b.addr(ir.ConstUint(sst.Addr), blkIdx, sstWords*8, 0)
+		sA := b.FrameAddr(b.Alloca(8))
+		b.Store(ir.Reg(sA), ir.ConstInt(0))
+		b.countedLoop(ir.ConstInt(0), ir.ConstInt(sstWords), 1, func(wd ir.ValueID) {
+			wa := b.addr(ir.Reg(base), wd, 8, 0)
+			wv := b.Load(ir.Reg(wa))
+			cur := b.Load(ir.Reg(sA))
+			x := b.Xor(ir.Reg(cur), ir.Reg(wv))
+			b.Store(ir.Reg(sA), ir.Reg(x))
+		})
+		sv := b.Load(ir.Reg(sA))
+		b.Store(ir.Reg(vA), ir.Reg(sv))
+		b.Jmp(joinB)
+		b.SetBlock(hitB)
+		b.Store(ir.Reg(vA), ir.Reg(got))
+		b.Jmp(joinB)
+		b.SetBlock(joinB)
+		rv := b.Load(ir.Reg(vA))
+		acc := b.Load(ir.Reg(accA))
+		m1 := b.Mul(ir.Reg(acc), ir.ConstInt(31))
+		ns := b.Add(ir.Reg(m1), ir.Reg(rv))
+		b.Store(ir.Reg(accA), ir.Reg(ns))
+	})
+	b.publishAndEmit(tid, outG, bar, accA)
+	// Short transactions: LevelDB requests are pure library calls with
+	// no syscalls to bound them, so the threshold keeps each request
+	// in roughly its own transaction under skewed key distributions.
+	return finishProgram(m, b.Done(), nil, 250)
+}
+
+// BuildSQLite models the SQLite case study: each query is parsed and
+// then executed through a virtual-machine of operator functions
+// dispatched via function pointers. HAFT treats indirect calls
+// conservatively (a transaction boundary around every one), which is
+// exactly why SQLite shows the poorest results in Figure 12 (3–4×).
+func BuildSQLite(scale int, w ycsb.Workload) *Program {
+	queries := int(sz(1024, scale))
+	const rowsPerScan = 8
+
+	m := ir.NewModule()
+	btree := m.AddGlobal("btree", 4096*8)
+	btree.Align = 64
+	reqs := encodeRequests(m, "reqs", w, queries, 13)
+	outG := m.AddGlobal("outv", padStride(8)*maxThreads)
+	outG.Align = 64
+	bar := m.AddGlobal("bar", 8)
+	fnTab := m.AddGlobal("optab", 4*8)
+	fnTab.Align = 64
+	m.Layout()
+
+	// Operator functions, dispatched by pointer per row.
+	mkOp := func(name string, k1, k2 int64) {
+		ob := newWorker(name, 1)
+		a1 := ob.Mul(ir.Reg(ob.Param(0)), ir.ConstInt(k1))
+		a2 := ob.Shr(ir.Reg(a1), ir.ConstInt(9))
+		a3 := ob.Xor(ir.Reg(a1), ir.Reg(a2))
+		a4 := ob.Add(ir.Reg(a3), ir.ConstInt(k2))
+		ob.Ret(ir.Reg(a4))
+		f := ob.Done()
+		m.AddFunc(f)
+	}
+	mkOp("sql_op_column", 31, 5)
+	mkOp("sql_op_compare", 131, 7)
+	mkOp("sql_op_result", 17, 3)
+
+	b := newWorker("sqlite_worker", 0)
+	tid, lo, hi := b.threadRange(ir.ConstInt(int64(queries)))
+	_, blo, bhi := b.threadRange(ir.ConstInt(4096))
+	b.initArray(ir.ConstUint(btree.Addr), blo, bhi)
+	b.Call("barrier.wait", ir.ConstUint(bar.Addr), ir.Reg(b.Call("thread.count")))
+
+	colIdx := int64(m.FuncIndex("sql_op_column"))
+	cmpIdx := int64(m.FuncIndex("sql_op_compare"))
+	resIdx := int64(m.FuncIndex("sql_op_result"))
+
+	accA := b.FrameAddr(b.Alloca(8))
+	b.Store(ir.Reg(accA), ir.ConstInt(0))
+	b.countedLoop(ir.Reg(lo), ir.Reg(hi), 1, func(i ir.ValueID) {
+		ra := b.addr(ir.ConstUint(reqs.Addr), i, 8, 0)
+		rw := b.Load(ir.Reg(ra))
+		key := b.And(ir.Reg(rw), ir.ConstInt(4095))
+		// Parse the SQL text (protected compute).
+		pA := b.FrameAddr(b.Alloca(8))
+		b.Store(ir.Reg(pA), ir.Reg(rw))
+		b.countedLoop(ir.ConstInt(0), ir.ConstInt(28), 1, func(r ir.ValueID) {
+			v := b.Load(ir.Reg(pA))
+			nv := b.lcg(v)
+			b.Store(ir.Reg(pA), ir.Reg(nv))
+		})
+		// Execute: scan rows, each row going through three operator
+		// dispatches via function pointers.
+		rA := b.FrameAddr(b.Alloca(8))
+		b.Store(ir.Reg(rA), ir.ConstInt(0))
+		b.countedLoop(ir.ConstInt(0), ir.ConstInt(rowsPerScan), 1, func(row ir.ValueID) {
+			kr := b.Add(ir.Reg(key), ir.Reg(row))
+			krm := b.And(ir.Reg(kr), ir.ConstInt(4095))
+			ba := b.addr(ir.ConstUint(btree.Addr), krm, 8, 0)
+			cell := b.Load(ir.Reg(ba))
+			c1 := b.CallInd(ir.ConstInt(colIdx), ir.Reg(cell))
+			c2 := b.CallInd(ir.ConstInt(cmpIdx), ir.Reg(c1))
+			c3 := b.CallInd(ir.ConstInt(resIdx), ir.Reg(c2))
+			cur := b.Load(ir.Reg(rA))
+			x := b.Xor(ir.Reg(cur), ir.Reg(c3))
+			b.Store(ir.Reg(rA), ir.Reg(x))
+		})
+		rv := b.Load(ir.Reg(rA))
+		acc := b.Load(ir.Reg(accA))
+		m1 := b.Mul(ir.Reg(acc), ir.ConstInt(31))
+		ns := b.Add(ir.Reg(m1), ir.Reg(rv))
+		b.Store(ir.Reg(accA), ir.Reg(ns))
+	})
+	b.publishAndEmit(tid, outG, bar, accA)
+	return finishProgram(m, b.Done(), nil, 2000)
+}

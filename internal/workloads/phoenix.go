@@ -1,0 +1,655 @@
+package workloads
+
+import (
+	"repro/internal/ir"
+)
+
+// maxThreads sizes the per-thread scratch regions.
+const maxThreads = 16
+
+// padStride pads a per-thread region to a multiple of the cache line.
+func padStride(bytes int64) int64 {
+	if r := bytes % 64; r != 0 {
+		bytes += 64 - r
+	}
+	return bytes + 64 // one guard line against false sharing
+}
+
+// initArray emits a loop storing mixed pseudo-random words to
+// base[lo:hi], giving every benchmark a deterministic self-generated
+// input (the paper's warm-up run that loads inputs into memory, §5.1).
+func (b *builder) initArray(base ir.Operand, lo, hi ir.ValueID) {
+	b.countedLoop(ir.Reg(lo), ir.Reg(hi), 1, func(i ir.ValueID) {
+		seed := b.Add(ir.Reg(i), ir.ConstInt(0x9E3779B9))
+		r := b.lcg(seed)
+		a := b.addr(base, i, 8, 0)
+		b.Store(ir.Reg(a), ir.Reg(r))
+	})
+}
+
+// emitChecksumOut emits a reduction over [0,n) words at base,
+// externalizing a rolling checksum.
+func (b *builder) emitChecksumOut(base ir.Operand, n int64) {
+	accAddr := b.FrameAddr(b.Alloca(8))
+	b.Store(ir.Reg(accAddr), ir.ConstInt(0))
+	b.countedLoop(ir.ConstInt(0), ir.ConstInt(n), 1, func(i ir.ValueID) {
+		a := b.addr(base, i, 8, 0)
+		v := b.Load(ir.Reg(a))
+		acc := b.Load(ir.Reg(accAddr))
+		m := b.Mul(ir.Reg(acc), ir.ConstInt(31))
+		s := b.Add(ir.Reg(m), ir.Reg(v))
+		b.Store(ir.Reg(accAddr), ir.Reg(s))
+	})
+	final := b.Load(ir.Reg(accAddr))
+	b.Out(ir.Reg(final))
+}
+
+func init() {
+	register("histogram", "phoenix", buildHistogram)
+	register("kmeans", "phoenix", func(s int) *Program { return buildKmeans(s, false) })
+	register("kmeans-ns", "phoenix", func(s int) *Program { return buildKmeans(s, true) })
+	register("linearreg", "phoenix", buildLinearReg)
+	register("matrixmul", "phoenix", buildMatrixMul)
+	register("pca", "phoenix", buildPCA)
+	register("stringmatch", "phoenix", buildStringMatch)
+	register("wordcount", "phoenix", func(s int) *Program { return buildWordCount(s, false) })
+	register("wordcount-ns", "phoenix", func(s int) *Program { return buildWordCount(s, true) })
+}
+
+// buildHistogram models Phoenix histogram: each thread scans its slice
+// of pixels and bins three channels into a private histogram; thread 0
+// merges. Characteristics targeted (Table 2/3): moderate ILP (ILR
+// ≈1.46), tiny transactional footprint → ~1% aborts dominated by
+// "other" causes, coverage ≈96%.
+func buildHistogram(scale int) *Program {
+	items := sz(16384, scale)
+	const buckets = 256
+	stride := padStride(buckets * 8)
+
+	m := ir.NewModule()
+	input := m.AddGlobal("input", items*8)
+	input.Align = 64
+	hist := m.AddGlobal("hist", stride*maxThreads)
+	hist.Align = 64
+	bar := m.AddGlobal("bar", 8)
+	m.Layout()
+
+	b := newWorker("histogram_worker", 0)
+	tid, lo, hi := b.threadRange(ir.ConstInt(items))
+	b.initArray(ir.ConstUint(input.Addr), lo, hi)
+	b.Call("barrier.wait", ir.ConstUint(bar.Addr), ir.Reg(b.Call("thread.count")))
+
+	myHist := b.addr(ir.ConstUint(hist.Addr), tid, stride, 0)
+	b.countedLoop(ir.Reg(lo), ir.Reg(hi), 1, func(i ir.ValueID) {
+		a := b.addr(ir.ConstUint(input.Addr), i, 8, 0)
+		px := b.Load(ir.Reg(a))
+		for _, shift := range []int64{0, 8, 16} {
+			sh := b.Shr(ir.Reg(px), ir.ConstInt(shift))
+			bkt := b.And(ir.Reg(sh), ir.ConstInt(buckets-1))
+			ba := b.addr(ir.Reg(myHist), bkt, 8, 0)
+			old := b.Load(ir.Reg(ba))
+			inc := b.Add(ir.Reg(old), ir.ConstInt(1))
+			b.Store(ir.Reg(ba), ir.Reg(inc))
+		}
+	})
+	b.finishOnThread0(tid, ir.ConstUint(bar.Addr), func() {
+		// Merge all threads' histograms into thread 0's, then checksum.
+		nt := b.Call("thread.count")
+		b.countedLoop(ir.ConstInt(1), ir.Reg(nt), 1, func(t ir.ValueID) {
+			th := b.addr(ir.ConstUint(hist.Addr), t, stride, 0)
+			b.countedLoop(ir.ConstInt(0), ir.ConstInt(buckets), 1, func(k ir.ValueID) {
+				src := b.addr(ir.Reg(th), k, 8, 0)
+				dst := b.addr(ir.Reg(myHist), k, 8, 0)
+				v := b.Load(ir.Reg(src))
+				d := b.Load(ir.Reg(dst))
+				sum := b.Add(ir.Reg(v), ir.Reg(d))
+				b.Store(ir.Reg(dst), ir.Reg(sum))
+			})
+		})
+		b.emitChecksumOut(ir.ConstUint(hist.Addr), buckets)
+	})
+	return finishProgram(m, b.Done(), nil, 3000)
+}
+
+// buildKmeans models Phoenix kmeans: points are assigned to the
+// nearest of K centroids and coordinate sums are accumulated. The
+// shared variant accumulates into one shared (unpadded) array with
+// atomic adds — the true sharing that causes kmeans' conflict-
+// dominated aborts (Table 3: 4.5% aborts, 99.9% conflicts). The "ns"
+// variant (5 LOC changed in the paper) gives each thread a padded
+// private accumulator, merged after a barrier.
+func buildKmeans(scale int, noSharing bool) *Program {
+	points := sz(2048, scale)
+	const k = 32
+	const dims = 4
+	// Each cluster's accumulator occupies one cache line (sum + count);
+	// the conflict probability is then governed by the ratio of
+	// per-point compute to shared-line updates, like the original.
+	const accStride = 64
+
+	m := ir.NewModule()
+	input := m.AddGlobal("points", points*8)
+	input.Align = 64
+	cent := m.AddGlobal("centroids", k*dims*8)
+	cent.Align = 64
+	// Slot 0 holds the shared accumulators; slots 1..maxThreads hold
+	// the per-thread private ones (padded). Both variants merge the
+	// private slots into the shared one at the end, so the checksum is
+	// identical across variants and thread counts.
+	accBytes := int64(k * accStride)
+	acc := m.AddGlobal("acc", padStride(accBytes)*(maxThreads+1))
+	acc.Align = 64
+	bar := m.AddGlobal("bar", 8)
+	m.Layout()
+
+	b := newWorker("kmeans_worker", 0)
+	tid, lo, hi := b.threadRange(ir.ConstInt(points))
+	b.initArray(ir.ConstUint(input.Addr), lo, hi)
+	// Thread 0 seeds the centroids.
+	initBlk := b.Block("initcent")
+	work := b.Block("work")
+	z := b.Cmp(ir.PredEQ, ir.Reg(tid), ir.ConstInt(0))
+	b.Br(ir.Reg(z), initBlk, work)
+	b.SetBlock(initBlk)
+	b.countedLoop(ir.ConstInt(0), ir.ConstInt(k*dims), 1, func(i ir.ValueID) {
+		v := b.Mul(ir.Reg(i), ir.ConstInt(97))
+		a := b.addr(ir.ConstUint(cent.Addr), i, 8, 0)
+		b.Store(ir.Reg(a), ir.Reg(v))
+	})
+	b.Jmp(work)
+	b.SetBlock(work)
+	b.Call("barrier.wait", ir.ConstUint(bar.Addr), ir.Reg(b.Call("thread.count")))
+
+	accBase := ir.ConstUint(acc.Addr)
+	tid1 := b.Add(ir.Reg(tid), ir.ConstInt(1))
+	myAcc := b.addr(accBase, tid1, padStride(accBytes), 0)
+	b.countedLoop(ir.Reg(lo), ir.Reg(hi), 1, func(i ir.ValueID) {
+		pa := b.addr(ir.ConstUint(input.Addr), i, 8, 0)
+		p := b.Load(ir.Reg(pa))
+		// Distance to every centroid over dims folded features; the
+		// compute-heavy argmin is where kmeans spends its time, making
+		// shared-line updates comparatively rare.
+		bestAddr := b.FrameAddr(b.Alloca(8))
+		bestD := b.FrameAddr(b.Alloca(8))
+		b.Store(ir.Reg(bestAddr), ir.ConstInt(0))
+		b.Store(ir.Reg(bestD), ir.ConstInt(1<<62))
+		b.countedLoop(ir.ConstInt(0), ir.ConstInt(k), 1, func(c ir.ValueID) {
+			dA := b.FrameAddr(b.Alloca(8))
+			b.Store(ir.Reg(dA), ir.ConstInt(0))
+			b.countedLoop(ir.ConstInt(0), ir.ConstInt(dims), 1, func(d ir.ValueID) {
+				off := b.Mul(ir.Reg(c), ir.ConstInt(dims*8))
+				cBase := b.Add(ir.ConstUint(cent.Addr), ir.Reg(off))
+				ca := b.addr(ir.Reg(cBase), d, 8, 0)
+				cv := b.Load(ir.Reg(ca))
+				sh3 := b.Mul(ir.Reg(d), ir.ConstInt(12))
+				pf0 := b.Shr(ir.Reg(p), ir.Reg(sh3))
+				pf := b.And(ir.Reg(pf0), ir.ConstInt(0xFFF))
+				d0 := b.Sub(ir.Reg(pf), ir.Reg(cv))
+				d1 := b.Mul(ir.Reg(d0), ir.Reg(d0))
+				cur := b.Load(ir.Reg(dA))
+				ns := b.Add(ir.Reg(cur), ir.Reg(d1))
+				b.Store(ir.Reg(dA), ir.Reg(ns))
+			})
+			dist := b.Load(ir.Reg(dA))
+			cur := b.Load(ir.Reg(bestD))
+			lt := b.Cmp(ir.PredLT, ir.Reg(dist), ir.Reg(cur))
+			nd := b.Select(ir.Reg(lt), ir.Reg(dist), ir.Reg(cur))
+			curB := b.Load(ir.Reg(bestAddr))
+			nb := b.Select(ir.Reg(lt), ir.Reg(c), ir.Reg(curB))
+			b.Store(ir.Reg(bestD), ir.Reg(nd))
+			b.Store(ir.Reg(bestAddr), ir.Reg(nb))
+		})
+		best := b.Load(ir.Reg(bestAddr))
+		pm := b.And(ir.Reg(p), ir.ConstInt(0xFFFF))
+		emitPrivate := func() {
+			sa := b.addr(ir.Reg(myAcc), best, accStride, 0)
+			old := b.Load(ir.Reg(sa))
+			nv := b.Add(ir.Reg(old), ir.Reg(pm))
+			b.Store(ir.Reg(sa), ir.Reg(nv))
+			cntA := b.addr(ir.Reg(myAcc), best, accStride, 8)
+			oc := b.Load(ir.Reg(cntA))
+			nc := b.Add(ir.Reg(oc), ir.ConstInt(1))
+			b.Store(ir.Reg(cntA), ir.Reg(nc))
+		}
+		if noSharing {
+			emitPrivate()
+		} else {
+			// Every 16th point contributes straight to the shared
+			// accumulators with atomic adds — the periodic true sharing
+			// that gives kmeans its conflict-dominated aborts (Table 3)
+			// without drowning the distance computation.
+			low := b.And(ir.Reg(i), ir.ConstInt(15))
+			isSh := b.Cmp(ir.PredEQ, ir.Reg(low), ir.ConstInt(0))
+			shBlk := b.Block("shupd")
+			pvBlk := b.Block("pvupd")
+			joinBlk := b.Block("updjoin")
+			b.Br(ir.Reg(isSh), shBlk, pvBlk)
+			b.SetBlock(shBlk)
+			sa := b.addr(accBase, best, accStride, 0)
+			b.ARMW(ir.RMWAdd, ir.Reg(sa), ir.Reg(pm))
+			cntA := b.addr(accBase, best, accStride, 8)
+			b.ARMW(ir.RMWAdd, ir.Reg(cntA), ir.ConstInt(1))
+			b.Jmp(joinBlk)
+			b.SetBlock(pvBlk)
+			emitPrivate()
+			b.Jmp(joinBlk)
+			b.SetBlock(joinBlk)
+		}
+	})
+	b.finishOnThread0(tid, ir.ConstUint(bar.Addr), func() {
+		nt := b.Call("thread.count")
+		ntp1 := b.Add(ir.Reg(nt), ir.ConstInt(1))
+		b.countedLoop(ir.ConstInt(1), ir.Reg(ntp1), 1, func(t ir.ValueID) {
+			th := b.addr(accBase, t, padStride(accBytes), 0)
+			b.countedLoop(ir.ConstInt(0), ir.ConstInt(k*accStride/8), 1, func(j ir.ValueID) {
+				src := b.addr(ir.Reg(th), j, 8, 0)
+				dst := b.addr(accBase, j, 8, 0)
+				v := b.Load(ir.Reg(src))
+				d := b.Load(ir.Reg(dst))
+				sum := b.Add(ir.Reg(v), ir.Reg(d))
+				b.Store(ir.Reg(dst), ir.Reg(sum))
+			})
+		})
+		b.emitChecksumOut(accBase, k*accStride/8)
+	})
+	return finishProgram(m, b.Done(), nil, 1000)
+}
+
+// buildLinearReg models Phoenix linear_regression: five independent
+// running sums over the input give high native ILP (ILR overhead
+// ≈2.0), and a data-dependent branch per point makes it control-flow
+// intensive — the benchmark where 20% of SDCs stem from status-
+// register faults (§3.3), which the Figure 9 ablation reproduces.
+func buildLinearReg(scale int) *Program {
+	items := sz(24576, scale)
+	stride := padStride(6 * 8)
+
+	m := ir.NewModule()
+	input := m.AddGlobal("input", items*8)
+	input.Align = 64
+	sums := m.AddGlobal("sums", stride*maxThreads)
+	sums.Align = 64
+	bar := m.AddGlobal("bar", 8)
+	m.Layout()
+
+	b := newWorker("linearreg_worker", 0)
+	tid, lo, hi := b.threadRange(ir.ConstInt(items))
+	b.initArray(ir.ConstUint(input.Addr), lo, hi)
+	b.Call("barrier.wait", ir.ConstUint(bar.Addr), ir.Reg(b.Call("thread.count")))
+
+	// Keep the five sums in frame slots; the loop body updates all of
+	// them independently (wide ILP).
+	sx := b.FrameAddr(b.Alloca(8))
+	sy := b.FrameAddr(b.Alloca(8))
+	sxx := b.FrameAddr(b.Alloca(8))
+	syy := b.FrameAddr(b.Alloca(8))
+	sxy := b.FrameAddr(b.Alloca(8))
+	for _, s := range []ir.ValueID{sx, sy, sxx, syy, sxy} {
+		b.Store(ir.Reg(s), ir.ConstInt(0))
+	}
+	b.countedLoop(ir.Reg(lo), ir.Reg(hi), 1, func(i ir.ValueID) {
+		a := b.addr(ir.ConstUint(input.Addr), i, 8, 0)
+		v := b.Load(ir.Reg(a))
+		x := b.And(ir.Reg(v), ir.ConstInt(0xFFF))
+		y := b.Shr(ir.Reg(v), ir.ConstInt(12))
+		y2 := b.And(ir.Reg(y), ir.ConstInt(0xFFF))
+		// Control-flow-intensive: outliers are skipped.
+		big := b.Cmp(ir.PredGT, ir.Reg(x), ir.ConstInt(4000))
+		skip := b.Block("skip")
+		use := b.Block("use")
+		cont := b.Block("cont")
+		b.Br(ir.Reg(big), skip, use)
+		b.SetBlock(skip)
+		b.Jmp(cont)
+		b.SetBlock(use)
+		xx := b.Mul(ir.Reg(x), ir.Reg(x))
+		yy := b.Mul(ir.Reg(y2), ir.Reg(y2))
+		xy := b.Mul(ir.Reg(x), ir.Reg(y2))
+		for _, p := range []struct {
+			slot ir.ValueID
+			val  ir.ValueID
+		}{{sx, x}, {sy, y2}, {sxx, xx}, {syy, yy}, {sxy, xy}} {
+			old := b.Load(ir.Reg(p.slot))
+			nv := b.Add(ir.Reg(old), ir.Reg(p.val))
+			b.Store(ir.Reg(p.slot), ir.Reg(nv))
+		}
+		b.Jmp(cont)
+		b.SetBlock(cont)
+	})
+	// Publish partials.
+	my := b.addr(ir.ConstUint(sums.Addr), tid, stride, 0)
+	for si, s := range []ir.ValueID{sx, sy, sxx, syy, sxy} {
+		v := b.Load(ir.Reg(s))
+		a := b.Add(ir.Reg(my), ir.ConstInt(int64(si)*8))
+		b.Store(ir.Reg(a), ir.Reg(v))
+	}
+	b.finishOnThread0(tid, ir.ConstUint(bar.Addr), func() {
+		nt := b.Call("thread.count")
+		b.countedLoop(ir.ConstInt(1), ir.Reg(nt), 1, func(t ir.ValueID) {
+			th := b.addr(ir.ConstUint(sums.Addr), t, stride, 0)
+			b.countedLoop(ir.ConstInt(0), ir.ConstInt(5), 1, func(j ir.ValueID) {
+				src := b.addr(ir.Reg(th), j, 8, 0)
+				dst := b.addr(ir.ConstUint(sums.Addr), j, 8, 0)
+				v := b.Load(ir.Reg(src))
+				d := b.Load(ir.Reg(dst))
+				sum := b.Add(ir.Reg(v), ir.Reg(d))
+				b.Store(ir.Reg(dst), ir.Reg(sum))
+			})
+		})
+		b.emitChecksumOut(ir.ConstUint(sums.Addr), 5)
+	})
+	return finishProgram(m, b.Done(), nil, 5000)
+}
+
+// buildMatrixMul models Phoenix matrix_multiply: C = A×B with B
+// traversed column-wise. The strided loads miss the (direct-mapped)
+// L1 model constantly and the accumulator chain is float, so native
+// ILP is very low — the best case for HAFT (overhead ≈5%, Table 2).
+// The per-row read footprint makes transactions read-capacity-bound,
+// and sharing the cache under hyper-threading explodes the abort rate
+// (the 377× observation of §5.4).
+func buildMatrixMul(scale int) *Program {
+	// n is a multiple of 64 at performance scales so B's column stride
+	// (n*8 bytes) maps successive elements of a column onto a handful
+	// of L1 sets — the associativity pressure behind matrixmul's
+	// read-capacity aborts and its hyper-threading blow-up (§5.4).
+	n := sz(64, scale) // n×n matrices
+	m := ir.NewModule()
+	A := m.AddGlobal("A", n*n*8)
+	A.Align = 64
+	B := m.AddGlobal("B", n*n*8)
+	B.Align = 64
+	C := m.AddGlobal("C", n*n*8)
+	C.Align = 64
+	bar := m.AddGlobal("bar", 8)
+	m.Layout()
+
+	b := newWorker("matrixmul_worker", 0)
+	tid, lo, hi := b.threadRange(ir.ConstInt(n)) // rows partitioned
+	// Initialize our rows of A and B.
+	lo8 := b.Mul(ir.Reg(lo), ir.ConstInt(n))
+	hi8 := b.Mul(ir.Reg(hi), ir.ConstInt(n))
+	b.initArray(ir.ConstUint(A.Addr), lo8, hi8)
+	b.initArray(ir.ConstUint(B.Addr), lo8, hi8)
+	b.Call("barrier.wait", ir.ConstUint(bar.Addr), ir.Reg(b.Call("thread.count")))
+
+	b.countedLoop(ir.Reg(lo), ir.Reg(hi), 1, func(i ir.ValueID) {
+		rowA := b.addr(ir.ConstUint(A.Addr), i, n*8, 0)
+		rowC := b.addr(ir.ConstUint(C.Addr), i, n*8, 0)
+		b.countedLoop(ir.ConstInt(0), ir.ConstInt(n), 1, func(j ir.ValueID) {
+			accA := b.FrameAddr(b.Alloca(8))
+			b.Store(ir.Reg(accA), ir.ConstFloat(0))
+			colB := b.addr(ir.ConstUint(B.Addr), j, 8, 0)
+			b.countedLoop(ir.ConstInt(0), ir.ConstInt(n), 1, func(kk ir.ValueID) {
+				aa := b.addr(ir.Reg(rowA), kk, 8, 0)
+				av := b.Load(ir.Reg(aa))
+				ba := b.addr(ir.Reg(colB), kk, n*8, 0) // column stride: cache hostile
+				bv := b.Load(ir.Reg(ba))
+				am := b.And(ir.Reg(av), ir.ConstInt(0xFFFF))
+				bm := b.And(ir.Reg(bv), ir.ConstInt(0xFFFF))
+				af := b.SIToFP(ir.Reg(am))
+				bf := b.SIToFP(ir.Reg(bm))
+				p := b.FMul(ir.Reg(af), ir.Reg(bf))
+				acc := b.Load(ir.Reg(accA))
+				ns := b.FAdd(ir.Reg(acc), ir.Reg(p))
+				b.Store(ir.Reg(accA), ir.Reg(ns))
+			})
+			fin := b.Load(ir.Reg(accA))
+			ifin := b.FPToSI(ir.Reg(fin))
+			ca := b.addr(ir.Reg(rowC), j, 8, 0)
+			b.Store(ir.Reg(ca), ir.Reg(ifin))
+		})
+	})
+	b.finishOnThread0(tid, ir.ConstUint(bar.Addr), func() {
+		b.emitChecksumOut(ir.ConstUint(C.Addr), n) // first row suffices
+	})
+	return finishProgram(m, b.Done(), nil, 3000)
+}
+
+// buildPCA models Phoenix pca: mean and covariance accumulation with
+// atomic updates to a shared (unpadded) covariance matrix — conflict-
+// heavy (Table 3: 4.8% aborts, 83% conflicts), moderate ILP (ILR
+// ≈1.35).
+func buildPCA(scale int) *Program {
+	rows := sz(2048, scale)
+	const dims = 8
+
+	m := ir.NewModule()
+	data := m.AddGlobal("data", rows*dims*8)
+	data.Align = 64
+	cov := m.AddGlobal("cov", dims*dims*8) // shared, unpadded
+	cov.Align = 64
+	bar := m.AddGlobal("bar", 8)
+	m.Layout()
+
+	b := newWorker("pca_worker", 0)
+	tid, lo, hi := b.threadRange(ir.ConstInt(rows))
+	loW := b.Mul(ir.Reg(lo), ir.ConstInt(dims))
+	hiW := b.Mul(ir.Reg(hi), ir.ConstInt(dims))
+	b.initArray(ir.ConstUint(data.Addr), loW, hiW)
+	b.Call("barrier.wait", ir.ConstUint(bar.Addr), ir.Reg(b.Call("thread.count")))
+
+	// Private covariance accumulator in the frame; merged into the
+	// shared matrix with atomic adds every 4 rows — the true-sharing
+	// bursts that give pca its conflict-dominated abort profile
+	// without drowning the computation in atomics.
+	privOff := b.Alloca(dims * dims * 8)
+	priv := b.FrameAddr(privOff)
+	b.countedLoop(ir.ConstInt(0), ir.ConstInt(dims*dims), 1, func(z ir.ValueID) {
+		za := b.addr(ir.Reg(priv), z, 8, 0)
+		b.Store(ir.Reg(za), ir.ConstInt(0))
+	})
+	b.countedLoop(ir.Reg(lo), ir.Reg(hi), 1, func(r ir.ValueID) {
+		row := b.addr(ir.ConstUint(data.Addr), r, dims*8, 0)
+		b.countedLoop(ir.ConstInt(0), ir.ConstInt(dims), 1, func(i ir.ValueID) {
+			ia := b.addr(ir.Reg(row), i, 8, 0)
+			iv := b.Load(ir.Reg(ia))
+			ivm := b.And(ir.Reg(iv), ir.ConstInt(0xFF))
+			b.countedLoop(ir.ConstInt(0), ir.ConstInt(dims), 1, func(j ir.ValueID) {
+				ja := b.addr(ir.Reg(row), j, 8, 0)
+				jv := b.Load(ir.Reg(ja))
+				jvm := b.And(ir.Reg(jv), ir.ConstInt(0xFF))
+				p := b.Mul(ir.Reg(ivm), ir.Reg(jvm))
+				rowOff := b.Mul(ir.Reg(i), ir.ConstInt(dims*8))
+				pvBase := b.Add(ir.Reg(priv), ir.Reg(rowOff))
+				pva := b.addr(ir.Reg(pvBase), j, 8, 0)
+				old := b.Load(ir.Reg(pva))
+				ns := b.Add(ir.Reg(old), ir.Reg(p))
+				b.Store(ir.Reg(pva), ir.Reg(ns))
+			})
+		})
+		// Merge one covariance slice into the shared matrix every 8th
+		// row: short atomic bursts on shared lines, conflict-prone but
+		// rare relative to the row computation.
+		low := b.And(ir.Reg(r), ir.ConstInt(7))
+		isM := b.Cmp(ir.PredEQ, ir.Reg(low), ir.ConstInt(7))
+		merge := b.Block("merge")
+		cont := b.Block("mcont")
+		b.Br(ir.Reg(isM), merge, cont)
+		b.SetBlock(merge)
+		sl := b.Shr(ir.Reg(r), ir.ConstInt(3))
+		slice := b.And(ir.Reg(sl), ir.ConstInt(dims-1))
+		sliceOff := b.Mul(ir.Reg(slice), ir.ConstInt(dims*8))
+		b.countedLoop(ir.ConstInt(0), ir.ConstInt(dims), 1, func(z ir.ValueID) {
+			pBase := b.Add(ir.Reg(priv), ir.Reg(sliceOff))
+			za := b.addr(ir.Reg(pBase), z, 8, 0)
+			v := b.Load(ir.Reg(za))
+			cBase := b.Add(ir.ConstUint(cov.Addr), ir.Reg(sliceOff))
+			ca := b.addr(ir.Reg(cBase), z, 8, 0)
+			b.ARMW(ir.RMWAdd, ir.Reg(ca), ir.Reg(v))
+			b.Store(ir.Reg(za), ir.ConstInt(0))
+		})
+		b.Jmp(cont)
+		b.SetBlock(cont)
+	})
+	// Flush the residue.
+	b.countedLoop(ir.ConstInt(0), ir.ConstInt(dims*dims), 1, func(z ir.ValueID) {
+		za := b.addr(ir.Reg(priv), z, 8, 0)
+		v := b.Load(ir.Reg(za))
+		ca := b.addr(ir.ConstUint(cov.Addr), z, 8, 0)
+		b.ARMW(ir.RMWAdd, ir.Reg(ca), ir.Reg(v))
+	})
+	b.finishOnThread0(tid, ir.ConstUint(bar.Addr), func() {
+		b.emitChecksumOut(ir.ConstUint(cov.Addr), dims*dims)
+	})
+	return finishProgram(m, b.Done(), nil, 1000)
+}
+
+// buildStringMatch models Phoenix string_match: a rolling hash scans
+// the corpus and compares against four key hashes with branch
+// cascades; per-thread match counters. Tiny footprint → near-zero
+// aborts (0.15%, "other"-dominated); ILR ≈1.5.
+func buildStringMatch(scale int) *Program {
+	words := sz(20480, scale)
+	stride := padStride(8)
+
+	m := ir.NewModule()
+	text := m.AddGlobal("text", words*8)
+	text.Align = 64
+	found := m.AddGlobal("found", stride*maxThreads)
+	found.Align = 64
+	bar := m.AddGlobal("bar", 8)
+	m.Layout()
+
+	b := newWorker("stringmatch_worker", 0)
+	tid, lo, hi := b.threadRange(ir.ConstInt(words))
+	b.initArray(ir.ConstUint(text.Addr), lo, hi)
+	b.Call("barrier.wait", ir.ConstUint(bar.Addr), ir.Reg(b.Call("thread.count")))
+
+	cnt := b.FrameAddr(b.Alloca(8))
+	b.Store(ir.Reg(cnt), ir.ConstInt(0))
+	b.countedLoop(ir.Reg(lo), ir.Reg(hi), 1, func(i ir.ValueID) {
+		a := b.addr(ir.ConstUint(text.Addr), i, 8, 0)
+		w := b.Load(ir.Reg(a))
+		// Rolling hash of the word's four 16-bit chunks.
+		h0 := b.And(ir.Reg(w), ir.ConstInt(0xFFFF))
+		c1 := b.Shr(ir.Reg(w), ir.ConstInt(16))
+		h1m := b.Mul(ir.Reg(h0), ir.ConstInt(31))
+		c1m := b.And(ir.Reg(c1), ir.ConstInt(0xFFFF))
+		h1 := b.Add(ir.Reg(h1m), ir.Reg(c1m))
+		c2 := b.Shr(ir.Reg(w), ir.ConstInt(32))
+		h2m := b.Mul(ir.Reg(h1), ir.ConstInt(31))
+		c2m := b.And(ir.Reg(c2), ir.ConstInt(0xFFFF))
+		h2 := b.Add(ir.Reg(h2m), ir.Reg(c2m))
+		// Compare against key hashes with a branch cascade.
+		k1 := b.And(ir.Reg(h2), ir.ConstInt(1023))
+		isK1 := b.Cmp(ir.PredEQ, ir.Reg(k1), ir.ConstInt(77))
+		hit := b.Block("hit")
+		miss := b.Block("miss")
+		cont := b.Block("cont")
+		b.Br(ir.Reg(isK1), hit, miss)
+		b.SetBlock(hit)
+		old := b.Load(ir.Reg(cnt))
+		nv := b.Add(ir.Reg(old), ir.ConstInt(1))
+		b.Store(ir.Reg(cnt), ir.Reg(nv))
+		b.Jmp(cont)
+		b.SetBlock(miss)
+		b.Jmp(cont)
+		b.SetBlock(cont)
+	})
+	my := b.addr(ir.ConstUint(found.Addr), tid, stride, 0)
+	fv := b.Load(ir.Reg(cnt))
+	b.Store(ir.Reg(my), ir.Reg(fv))
+	b.finishOnThread0(tid, ir.ConstUint(bar.Addr), func() {
+		nt := b.Call("thread.count")
+		tot := b.FrameAddr(b.Alloca(8))
+		b.Store(ir.Reg(tot), ir.ConstInt(0))
+		b.countedLoop(ir.ConstInt(0), ir.Reg(nt), 1, func(t ir.ValueID) {
+			th := b.addr(ir.ConstUint(found.Addr), t, stride, 0)
+			v := b.Load(ir.Reg(th))
+			o := b.Load(ir.Reg(tot))
+			s := b.Add(ir.Reg(o), ir.Reg(v))
+			b.Store(ir.Reg(tot), ir.Reg(s))
+		})
+		final := b.Load(ir.Reg(tot))
+		b.Out(ir.Reg(final))
+	})
+	return finishProgram(m, b.Done(), nil, 5000)
+}
+
+// buildWordCount models Phoenix word_count: words hash into a shared
+// count table. The shared variant packs bucket counters densely so
+// different buckets share cache lines — the false sharing that gives
+// wordcount its 14.6% conflict-dominated abort rate; the "ns" variant
+// (47 LOC in the paper) uses per-thread padded tables merged at the
+// end, cutting aborts ~7× (§5.3).
+func buildWordCount(scale int, noSharing bool) *Program {
+	words := sz(1536, scale)
+	const buckets = 4096
+	// Per-word "tokenization" work: mixing rounds standing in for the
+	// string scanning the original spends most of its time on. The
+	// ratio of this compute to table updates controls the conflict
+	// rate, like the real benchmark's word-length distribution does.
+	const tokenRounds = 48
+
+	m := ir.NewModule()
+	text := m.AddGlobal("text", words*8)
+	text.Align = 64
+	var table *ir.Global
+	stride := padStride(buckets * 8)
+	if noSharing {
+		table = m.AddGlobal("table", stride*maxThreads)
+	} else {
+		table = m.AddGlobal("table", buckets*8)
+	}
+	table.Align = 64
+	bar := m.AddGlobal("bar", 8)
+	m.Layout()
+
+	b := newWorker("wordcount_worker", 0)
+	tid, lo, hi := b.threadRange(ir.ConstInt(words))
+	b.initArray(ir.ConstUint(text.Addr), lo, hi)
+	b.Call("barrier.wait", ir.ConstUint(bar.Addr), ir.Reg(b.Call("thread.count")))
+
+	var myTable ir.ValueID
+	if noSharing {
+		myTable = b.addr(ir.ConstUint(table.Addr), tid, stride, 0)
+	}
+	b.countedLoop(ir.Reg(lo), ir.Reg(hi), 1, func(i ir.ValueID) {
+		a := b.addr(ir.ConstUint(text.Addr), i, 8, 0)
+		w := b.Load(ir.Reg(a))
+		hA := b.FrameAddr(b.Alloca(8))
+		b.Store(ir.Reg(hA), ir.Reg(w))
+		b.countedLoop(ir.ConstInt(0), ir.ConstInt(tokenRounds), 1, func(rd ir.ValueID) {
+			h := b.Load(ir.Reg(hA))
+			m1 := b.Mul(ir.Reg(h), ir.ConstUint(0x9E3779B97F4A7C15))
+			s1 := b.Shr(ir.Reg(m1), ir.ConstInt(29))
+			x1 := b.Xor(ir.Reg(m1), ir.Reg(s1))
+			a1 := b.Add(ir.Reg(x1), ir.Reg(rd))
+			b.Store(ir.Reg(hA), ir.Reg(a1))
+		})
+		h2 := b.Load(ir.Reg(hA))
+		bkt := b.And(ir.Reg(h2), ir.ConstInt(buckets-1))
+		if noSharing {
+			ba := b.addr(ir.Reg(myTable), bkt, 8, 0)
+			old := b.Load(ir.Reg(ba))
+			nv := b.Add(ir.Reg(old), ir.ConstInt(1))
+			b.Store(ir.Reg(ba), ir.Reg(nv))
+		} else {
+			ba := b.addr(ir.ConstUint(table.Addr), bkt, 8, 0)
+			b.ARMW(ir.RMWAdd, ir.Reg(ba), ir.ConstInt(1))
+		}
+	})
+	b.finishOnThread0(tid, ir.ConstUint(bar.Addr), func() {
+		if noSharing {
+			nt := b.Call("thread.count")
+			b.countedLoop(ir.ConstInt(1), ir.Reg(nt), 1, func(t ir.ValueID) {
+				th := b.addr(ir.ConstUint(table.Addr), t, stride, 0)
+				b.countedLoop(ir.ConstInt(0), ir.ConstInt(buckets), 1, func(k ir.ValueID) {
+					src := b.addr(ir.Reg(th), k, 8, 0)
+					dst := b.addr(ir.ConstUint(table.Addr), k, 8, 0)
+					v := b.Load(ir.Reg(src))
+					d := b.Load(ir.Reg(dst))
+					sum := b.Add(ir.Reg(v), ir.Reg(d))
+					b.Store(ir.Reg(dst), ir.Reg(sum))
+				})
+			})
+		}
+		b.emitChecksumOut(ir.ConstUint(table.Addr), buckets)
+	})
+	thr := int64(1000)
+	if noSharing {
+		thr = 3000
+	}
+	return finishProgram(m, b.Done(), nil, thr)
+}
