@@ -4,8 +4,13 @@
 //
 // Usage:
 //
-//	haftbench [-scale N] [-injections N] [-seed N] [-benchmarks a,b,c] id...
+//	haftbench [-scale N] [-injections N] [-seed N] [-benchmarks a,b,c]
+//	          [-json] id...
 //	haftbench all
+//
+// -json additionally writes one BENCH_<id>.json per experiment with a
+// machine-readable result (structured metrics where the experiment
+// defines them, the rendered text otherwise).
 //
 // Absolute numbers come from the machine simulator, not a Haswell
 // testbed; the shapes (who wins, rough factors, crossovers) are the
@@ -14,6 +19,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +34,7 @@ func main() {
 	injections := flag.Int("injections", 150, "fault injections per program per mode (paper: 2500)")
 	seed := flag.Int64("seed", 1, "campaign seed")
 	benches := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
+	jsonOut := flag.Bool("json", false, "also write BENCH_<id>.json with machine-readable results")
 	flag.Parse()
 	ids := flag.Args()
 	if len(ids) == 0 {
@@ -47,12 +54,31 @@ func main() {
 	}
 	for _, id := range ids {
 		start := time.Now()
-		out, err := haft.Experiment(id, opts)
+		out, data, err := haft.ExperimentFull(id, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "haftbench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
 		fmt.Println(out)
-		fmt.Printf("[%s took %s]\n\n", id, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		if *jsonOut {
+			doc := map[string]any{
+				"experiment": id,
+				"seconds":    elapsed.Seconds(),
+				"result":     data,
+			}
+			b, err := json.MarshalIndent(doc, "", "  ")
+			if err == nil {
+				name := "BENCH_" + id + ".json"
+				if err = os.WriteFile(name, append(b, '\n'), 0o644); err == nil {
+					fmt.Printf("[wrote %s]\n", name)
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "haftbench: %s: json: %v\n", id, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("[%s took %s]\n\n", id, elapsed.Round(time.Millisecond))
 	}
 }

@@ -1,0 +1,175 @@
+// Command haftload drives a running haftserve endpoint with
+// YCSB-shaped load (§6.1): workload A (50% reads, zipfian) or D
+// (95% reads, latest) over the loopback text protocol, open-loop at a
+// target request rate (or closed-loop at maximum pressure with
+// -rate 0), across several connections.
+//
+// Usage:
+//
+//	haftload [-addr 127.0.0.1:7171] [-workload A] [-rate 0]
+//	         [-duration 10s] [-conns 8] [-records 1024]
+//	         [-valuework 4] [-verify] [-seed 1] [-json]
+//
+// Every response is optionally verified against the reference reply
+// function — a mismatch is a silently corrupted response that slipped
+// past the server's hardening, the number the paper's SDC columns
+// care about. At the end it prints client-side throughput and latency
+// percentiles plus the server's own metrics snapshot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	haft "repro"
+	"repro/internal/ycsb"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7171", "haftserve address")
+	workload := flag.String("workload", "A", "YCSB workload: A or D")
+	rate := flag.Float64("rate", 0, "open-loop request rate in req/s (0 = closed-loop max)")
+	duration := flag.Duration("duration", 10*time.Second, "load duration")
+	conns := flag.Int("conns", 8, "client connections")
+	records := flag.Int("records", 1024, "key range (must match the server)")
+	valueWork := flag.Int("valuework", 4, "server value work (for -verify)")
+	verify := flag.Bool("verify", true, "verify every response against the reference function")
+	seed := flag.Int64("seed", 1, "workload generator seed")
+	jsonOut := flag.Bool("json", false, "print the server snapshot as JSON")
+	flag.Parse()
+
+	var w ycsb.Workload
+	switch *workload {
+	case "A", "a":
+		w = ycsb.WorkloadA(*records)
+	case "D", "d":
+		w = ycsb.WorkloadD(*records)
+	default:
+		fmt.Fprintf(os.Stderr, "haftload: unknown workload %q (want A or D)\n", *workload)
+		os.Exit(2)
+	}
+
+	// Open-loop pacing: a single pacer feeds tokens at the target
+	// rate; connections consume them. A buffered token channel lets
+	// queueing delay build up when the server falls behind — the
+	// open-loop property. rate 0 skips tokens entirely (closed loop).
+	var tokens chan struct{}
+	deadline := time.Now().Add(*duration)
+	if *rate > 0 {
+		tokens = make(chan struct{}, 1<<16)
+		go func() {
+			interval := time.Duration(float64(time.Second) / *rate)
+			if interval <= 0 {
+				interval = time.Nanosecond
+			}
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for time.Now().Before(deadline) {
+				<-t.C
+				select {
+				case tokens <- struct{}{}:
+				default: // token bucket full; shed rather than block the pacer
+				}
+			}
+			close(tokens)
+		}()
+	}
+
+	var sent, failed, corrupted atomic.Uint64
+	lats := make([][]time.Duration, *conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := haft.DialServer(*addr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "haftload: conn %d: %v\n", i, err)
+				return
+			}
+			defer c.Close()
+			gen := ycsb.NewGenerator(w, *seed+int64(i)*1000003)
+			var mine []time.Duration
+			for time.Now().Before(deadline) {
+				if tokens != nil {
+					if _, ok := <-tokens; !ok {
+						break
+					}
+				}
+				r := gen.Next()
+				req := haft.ServeRequest{Write: r.Op == ycsb.OpWrite, Key: r.Key}
+				if req.Write {
+					req.Value = r.Key*2654435761 + uint64(i)
+				}
+				t0 := time.Now()
+				var v uint64
+				var err error
+				if req.Write {
+					v, err = c.Put(req.Key, req.Value)
+				} else {
+					v, err = c.Get(req.Key)
+				}
+				sent.Add(1)
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				mine = append(mine, time.Since(t0))
+				if *verify && v != haft.ServeReference(req, *valueWork) {
+					corrupted.Add(1)
+				}
+			}
+			lats[i] = mine
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(q float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(all)))
+		if i >= len(all) {
+			i = len(all) - 1
+		}
+		return all[i]
+	}
+
+	ok := uint64(len(all))
+	fmt.Printf("haftload: workload %s, %d conns, %s\n", w.Name, *conns, elapsed.Round(time.Millisecond))
+	fmt.Printf("  sent        %d\n", sent.Load())
+	fmt.Printf("  ok          %d\n", ok)
+	fmt.Printf("  failed      %d\n", failed.Load())
+	fmt.Printf("  corrupted   %d\n", corrupted.Load())
+	fmt.Printf("  throughput  %.0f req/s\n", float64(ok)/elapsed.Seconds())
+	fmt.Printf("  latency     p50=%s p95=%s p99=%s\n",
+		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
+
+	// Pull the server's own accounting over the same wire.
+	if c, err := haft.DialServer(*addr); err == nil {
+		if snap, err := c.Stats(); err == nil {
+			if *jsonOut {
+				fmt.Println(string(snap.JSON()))
+			} else {
+				fmt.Println(snap.Summary())
+			}
+		}
+		c.Close()
+	}
+
+	if corrupted.Load() > 0 {
+		os.Exit(1)
+	}
+}

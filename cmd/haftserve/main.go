@@ -1,0 +1,118 @@
+// Command haftserve runs the hardened request-serving layer on a
+// loopback TCP endpoint: a warm pool of HAFT-hardened VM instances
+// serving the §6.1 key-value program behind a bounded queue, with
+// fault-aware retries and an optional live SEU injection campaign.
+//
+// Usage:
+//
+//	haftserve [-addr :7171] [-pool 8] [-batch 32] [-queue 1024]
+//	          [-seu 0] [-records 1024] [-valuework 4] [-mode haft]
+//	          [-metrics 0] [-json]
+//
+// Drive it with cmd/haftload (or any client of the text protocol:
+// "get <k>", "put <k> <v>", "scan <k> <n>", "stats", "ping"). On
+// SIGINT/SIGTERM it prints the final metrics and exits; -metrics N
+// additionally prints a snapshot every N seconds; -json switches both
+// to machine-readable JSON.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	haft "repro"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7171", "listen address")
+	pool := flag.Int("pool", 8, "warm VM instances (= worker goroutines)")
+	batch := flag.Int("batch", 32, "max requests per machine run")
+	queue := flag.Int("queue", 1024, "request queue bound (backpressure)")
+	seu := flag.Float64("seu", 0, "injected SEUs per request (0 = no campaign)")
+	records := flag.Int("records", 1024, "key range")
+	valueWork := flag.Int("valuework", 4, "value (de)serialization rounds per request")
+	mode := flag.String("mode", "haft", "hardening mode: native, ilr, tx, haft")
+	retries := flag.Int("retries", 3, "max retries per request after faulted runs")
+	quarantine := flag.Int("quarantine", 3, "consecutive faulted runs before instance rebuild")
+	seed := flag.Int64("seed", 1, "injection campaign seed")
+	metricsEvery := flag.Int("metrics", 0, "print a metrics snapshot every N seconds (0 = off)")
+	jsonOut := flag.Bool("json", false, "print metrics as JSON instead of a table")
+	flag.Parse()
+
+	cfg := haft.DefaultServeConfig()
+	cfg.Pool = *pool
+	cfg.Batch = *batch
+	cfg.QueueDepth = *queue
+	cfg.SEURate = *seu
+	cfg.KV.Records = *records
+	cfg.KV.ValueWork = *valueWork
+	cfg.MaxRetries = *retries
+	cfg.QuarantineAfter = *quarantine
+	cfg.Seed = *seed
+	switch *mode {
+	case "native":
+		cfg.Harden.Mode = haft.ModeNative
+	case "ilr":
+		cfg.Harden.Mode = haft.ModeILR
+	case "tx":
+		cfg.Harden.Mode = haft.ModeTX
+	case "haft":
+		cfg.Harden.Mode = haft.ModeHAFT
+	default:
+		fmt.Fprintf(os.Stderr, "haftserve: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	srv, err := haft.NewServer(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "haftserve: %v\n", err)
+		os.Exit(1)
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "haftserve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("haftserve: %s mode, pool=%d batch=%d queue=%d seu=%g, listening on %s\n",
+		*mode, *pool, *batch, *queue, *seu, l.Addr())
+
+	dump := func(s haft.ServeSnapshot) {
+		if *jsonOut {
+			fmt.Println(string(s.JSON()))
+		} else {
+			fmt.Println(s.Summary())
+		}
+	}
+
+	if *metricsEvery > 0 {
+		go func() {
+			t := time.NewTicker(time.Duration(*metricsEvery) * time.Second)
+			defer t.Stop()
+			for range t.C {
+				dump(srv.Metrics())
+			}
+		}()
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeListener(l) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-sig:
+		fmt.Println("\nhaftserve: shutting down")
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "haftserve: %v\n", err)
+		}
+	}
+	srv.Close()
+	dump(srv.Metrics())
+}

@@ -104,6 +104,42 @@ var experimentRunners = map[string]func(exp.Options) (string, error){
 		}
 		return t.String(), nil
 	},
+	"serve": func(o exp.Options) (string, error) {
+		snap, err := exp.ServeBench(o)
+		if err != nil {
+			return "", err
+		}
+		return snap.Summary(), nil
+	},
+}
+
+// experimentData maps experiment ids to runners with a structured,
+// machine-readable result (for haftbench -json). Experiments without
+// an entry fall back to their rendered text.
+var experimentData = map[string]func(exp.Options) (any, string, error){
+	"serve": func(o exp.Options) (any, string, error) {
+		snap, err := exp.ServeBench(o)
+		if err != nil {
+			return nil, "", err
+		}
+		return snap, snap.Summary(), nil
+	},
+}
+
+// ExperimentFull runs an experiment and returns both its rendered text
+// and a machine-readable value: a structured result where the
+// experiment defines one, otherwise the text wrapped in a
+// {"id", "output"} object.
+func ExperimentFull(id string, opts ExperimentOptions) (string, any, error) {
+	if run, ok := experimentData[id]; ok {
+		data, text, err := run(opts)
+		return text, data, err
+	}
+	text, err := Experiment(id, opts)
+	if err != nil {
+		return "", nil, err
+	}
+	return text, map[string]any{"id": id, "output": text}, nil
 }
 
 // Experiments lists the available experiment ids.

@@ -31,6 +31,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/ir"
 	"repro/internal/lang"
+	"repro/internal/serve"
 	"repro/internal/vm"
 	"repro/internal/workloads"
 	"repro/internal/ycsb"
@@ -309,6 +310,45 @@ func Stats(p *Program) string {
 func Expansion(base, hardened *Program) float64 {
 	return core.CollectStats(hardened.prog.Module).
 		Expansion(base.prog.Module.NumInstrs())
+}
+
+// ServeConfig parameterizes the hardened request-serving layer: pool
+// size, queue bound, batch size, retry/quarantine policy, hardening
+// mode, and the optional SEU injection campaign.
+type ServeConfig = serve.Config
+
+// ServeRequest is one key-value operation against a Server.
+type ServeRequest = serve.Request
+
+// Server is the hardened request-serving layer: a warm pool of
+// HAFT-hardened VM instances behind a bounded queue, with fault-aware
+// retries, quarantine, and a live metrics registry. Serve requests
+// in-process with Get/Put/Scan/Do, or export the text protocol over
+// TCP with ServeListener (see cmd/haftserve and cmd/haftload).
+type Server = serve.Server
+
+// ServeSnapshot is a point-in-time export of a Server's metrics
+// (throughput, latency percentiles, abort causes, fault counters).
+type ServeSnapshot = serve.Snapshot
+
+// ServeConn is a client connection to a Server's TCP endpoint.
+type ServeConn = serve.Conn
+
+// DefaultServeConfig returns the standard serving configuration:
+// 8 warm HAFT instances, batches of 32, 3 retries, verification on.
+func DefaultServeConfig() ServeConfig { return serve.DefaultConfig() }
+
+// NewServer hardens the serving program and starts the warm pool.
+func NewServer(cfg ServeConfig) (*Server, error) { return serve.NewServer(cfg) }
+
+// DialServer connects to a Server's TCP endpoint.
+func DialServer(addr string) (*ServeConn, error) { return serve.Dial(addr) }
+
+// ServeReference computes the correct reply for a request, letting
+// clients verify responses end to end.
+func ServeReference(req ServeRequest, valueWork int) uint64 {
+	return workloads.KVReference(
+		workloads.KVRequestWord(req.Write, req.Key, req.Value), valueWork)
 }
 
 // CompileSource compiles a program written in the C-flavored source

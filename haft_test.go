@@ -1,6 +1,7 @@
 package haft
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -213,5 +214,118 @@ func TestExperimentRunnersSmoke(t *testing.T) {
 				t.Fatalf("%s produced implausibly small output:\n%s", id, out)
 			}
 		})
+	}
+}
+
+// TestTraceMatchesRun: tracing must be observational — the Result a
+// trace returns is identical to a plain Run of the same program, and
+// the recorded values reconstruct the run's actual dataflow.
+func TestTraceMatchesRun(t *testing.T) {
+	prog, err := Parse(tinyProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := Run(prog, 1)
+	traced, events := Trace(prog, 1, 0)
+	if !reflect.DeepEqual(traced, plain) {
+		t.Fatalf("traced result %+v differs from plain run %+v", traced, plain)
+	}
+	if uint64(len(events)) == 0 || uint64(len(events)) > plain.DynInstrs {
+		t.Fatalf("%d events for %d dynamic instructions", len(events), plain.DynInstrs)
+	}
+	// The loop counter's adds are v0+3 chains: every "add" event in
+	// block "loop" must be a multiple of 3, ending at 300.
+	var last uint64
+	for _, ev := range events {
+		if ev.Block == "loop" && ev.Op == "add" {
+			if ev.Value%3 != 0 {
+				t.Fatalf("add value %d not a multiple of 3: %+v", ev.Value, ev)
+			}
+			last = ev.Value
+		}
+	}
+	if last != 300 {
+		t.Fatalf("final loop add = %d, want 300", last)
+	}
+	// Cycles never decrease along a single-core trace.
+	for i := 1; i < len(events); i++ {
+		if events[i].Cycle < events[i-1].Cycle {
+			t.Fatalf("cycle went backwards at event %d: %d -> %d",
+				i, events[i-1].Cycle, events[i].Cycle)
+		}
+	}
+}
+
+// TestTraceMultiThread: events carry the executing core, and every
+// core of a multithreaded run shows up in the trace.
+func TestTraceMultiThread(t *testing.T) {
+	prog, err := Parse(tinyProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, events := Trace(prog, 2, 0)
+	if res.Status != "ok" {
+		t.Fatalf("status %s", res.Status)
+	}
+	seen := map[int]bool{}
+	for _, ev := range events {
+		seen[ev.Core] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Fatalf("trace covers cores %v, want both 0 and 1", seen)
+	}
+}
+
+// TestTraceHardened: the trace facade works on hardened programs too,
+// and shows the shadow instructions ILR inserted.
+func TestTraceHardened(t *testing.T) {
+	prog, err := Parse(tinyProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard, err := Harden(prog, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nres, nev := Trace(prog, 1, 0)
+	hres, hev := Trace(hard, 1, 0)
+	if hres.Status != "ok" {
+		t.Fatalf("hardened status %s", hres.Status)
+	}
+	if len(hev) <= len(nev) {
+		t.Fatalf("hardened trace (%d events) not longer than native (%d)", len(hev), len(nev))
+	}
+	if hres.Output[0] != nres.Output[0] {
+		t.Fatalf("hardening changed output: %v vs %v", hres.Output, nres.Output)
+	}
+}
+
+// TestServeFacade: the public serving API round-trips requests against
+// the reference function and exports metrics.
+func TestServeFacade(t *testing.T) {
+	cfg := DefaultServeConfig()
+	cfg.Pool = 2
+	cfg.KV.Records = 64
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for i := 0; i < 32; i++ {
+		req := ServeRequest{Write: i%2 == 0, Key: uint64(i % 64), Value: uint64(i) * 997}
+		v, err := srv.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != ServeReference(req, srv.ValueWork()) {
+			t.Fatalf("req %d: reply %#x != reference", i, v)
+		}
+	}
+	snap := srv.Metrics()
+	if snap.Responses != 32 || snap.CorruptedReplies != 0 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	if !strings.Contains(string(snap.JSON()), `"corrupted_replies":0`) {
+		t.Fatalf("JSON export missing fields: %s", snap.JSON())
 	}
 }

@@ -1,0 +1,50 @@
+package exp
+
+import (
+	"sync"
+
+	"repro/internal/serve"
+	"repro/internal/ycsb"
+)
+
+// ServeBench is the serving-layer benchmark behind haftbench's "serve"
+// experiment: it drives an in-process hardened pool (default serving
+// configuration plus a light SEU campaign) with YCSB-A-shaped load and
+// returns the server's metrics snapshot — the closed-loop counterpart
+// of running cmd/haftload against cmd/haftserve over loopback.
+func ServeBench(o Options) (serve.Snapshot, error) {
+	cfg := serve.DefaultConfig()
+	cfg.Seed = o.Seed
+	// Light always-on campaign so the fault columns are exercised.
+	cfg.SEURate = 0.01
+	srv, err := serve.NewServer(cfg)
+	if err != nil {
+		return serve.Snapshot{}, err
+	}
+	defer srv.Close()
+
+	requests := 4000
+	if o.Scale > 1 {
+		requests *= o.Scale
+	}
+	const clients = 16
+	w := ycsb.WorkloadA(srv.Records())
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			gen := ycsb.NewGenerator(w, o.Seed+int64(i)*1000003)
+			for n := 0; n < requests/clients; n++ {
+				r := gen.Next()
+				req := serve.Request{Write: r.Op == ycsb.OpWrite, Key: r.Key}
+				if req.Write {
+					req.Value = r.Key*2654435761 + uint64(i)
+				}
+				srv.Do(req) //nolint:errcheck // failures land in the metrics
+			}
+		}(i)
+	}
+	wg.Wait()
+	return srv.Metrics(), nil
+}

@@ -239,6 +239,18 @@ func NewSystem(ncores int, cfg Config) *System {
 // Config returns the system configuration.
 func (s *System) Config() Config { return s.cfg }
 
+// Reset returns the system to its post-NewSystem state: all per-core
+// transactional state is discarded, the statistics are zeroed, and the
+// spontaneous-abort RNG is re-seeded, so a reused system behaves
+// identically to a freshly constructed one.
+func (s *System) Reset() {
+	for i := range s.cores {
+		s.cores[i] = tx{}
+	}
+	s.rng = rand.New(rand.NewSource(s.cfg.Seed))
+	s.Stats = Stats{Aborted: make(map[Cause]uint64)}
+}
+
 // InTx reports whether core is currently executing a transaction
 // (the XTEST instruction).
 func (s *System) InTx(core int) bool { return s.cores[core].active }

@@ -1,0 +1,316 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/htm"
+	"repro/internal/report"
+	"repro/internal/vm"
+)
+
+// histBucketsPerOctave gives the latency histogram ~25% relative
+// resolution: each power-of-two nanosecond octave is split in four.
+const histBucketsPerOctave = 4
+
+// maxHistBuckets covers latencies up to 2^63 ns.
+const maxHistBuckets = 64 * histBucketsPerOctave
+
+// latencyHist is a log-scaled histogram of request latencies.
+type latencyHist struct {
+	counts [maxHistBuckets]uint64
+	total  uint64
+	sum    time.Duration
+	max    time.Duration
+}
+
+func histBucket(d time.Duration) int {
+	ns := uint64(d)
+	if ns < 2 {
+		return 0
+	}
+	oct := bits.Len64(ns) - 1
+	frac := 0
+	if oct >= 2 {
+		frac = int((ns >> (oct - 2)) & 3)
+	}
+	return oct*histBucketsPerOctave + frac
+}
+
+// bucketUpper is the inclusive upper bound of a bucket in nanoseconds.
+func bucketUpper(b int) float64 {
+	oct := b / histBucketsPerOctave
+	frac := b % histBucketsPerOctave
+	return float64(uint64(1)<<oct) * (1 + float64(frac+1)/4)
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[histBucket(d)]++
+	h.total++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// percentile returns the q-th (0..1) latency percentile in seconds.
+func (h *latencyHist) percentile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	want := uint64(q * float64(h.total))
+	if want >= h.total {
+		want = h.total - 1
+	}
+	var cum uint64
+	for b, c := range h.counts {
+		cum += c
+		if cum > want {
+			return bucketUpper(b) / 1e9
+		}
+	}
+	return float64(h.max) / 1e9
+}
+
+// Metrics is the serving layer's live accounting: every request,
+// retry, quarantine, VM run, HTM abort and fault event lands here.
+type Metrics struct {
+	mu    sync.Mutex
+	start time.Time
+
+	requests  uint64
+	responses uint64
+	failed    uint64
+	rejected  uint64
+	retries   uint64
+
+	runs        uint64
+	faultedRuns uint64
+	runStatus   map[string]uint64
+	quarantines uint64
+	rebuilds    uint64
+
+	injected  uint64
+	corrected uint64
+	corrupted uint64
+
+	txStarted   uint64
+	txCommitted uint64
+	fallbacks   uint64
+	aborts      map[string]uint64
+
+	hist latencyHist
+
+	poolSize   int
+	poolBusy   int
+	queueDepth func() int
+}
+
+func newMetrics(poolSize int, queueDepth func() int) *Metrics {
+	return &Metrics{
+		start:      time.Now(),
+		runStatus:  make(map[string]uint64),
+		aborts:     make(map[string]uint64),
+		poolSize:   poolSize,
+		queueDepth: queueDepth,
+	}
+}
+
+func (m *Metrics) request() { m.mu.Lock(); m.requests++; m.mu.Unlock() }
+func (m *Metrics) rejectedN(n int) {
+	m.mu.Lock()
+	m.rejected += uint64(n)
+	m.mu.Unlock()
+}
+func (m *Metrics) retry() { m.mu.Lock(); m.retries++; m.mu.Unlock() }
+func (m *Metrics) failure() {
+	m.mu.Lock()
+	m.failed++
+	m.mu.Unlock()
+}
+func (m *Metrics) quarantine() {
+	m.mu.Lock()
+	m.quarantines++
+	m.rebuilds++
+	m.mu.Unlock()
+}
+func (m *Metrics) corruptedReply() { m.mu.Lock(); m.corrupted++; m.mu.Unlock() }
+func (m *Metrics) injectedFault()  { m.mu.Lock(); m.injected++; m.mu.Unlock() }
+
+func (m *Metrics) response(latency time.Duration) {
+	m.mu.Lock()
+	m.responses++
+	m.hist.observe(latency)
+	m.mu.Unlock()
+}
+
+func (m *Metrics) busy(delta int) {
+	m.mu.Lock()
+	m.poolBusy += delta
+	m.mu.Unlock()
+}
+
+// run folds one finished VM run's statistics into the registry.
+func (m *Metrics) run(status vm.Status, st vm.RunStats, hs htm.Stats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.runs++
+	m.runStatus[status.String()]++
+	if status != vm.StatusOK {
+		m.faultedRuns++
+	}
+	m.corrected += st.Recovered
+	m.txStarted += hs.Started
+	m.txCommitted += hs.Committed
+	m.fallbacks += hs.FallbackRuns
+	for cause, n := range hs.Aborted {
+		m.aborts[cause.String()] += n
+	}
+}
+
+// Snapshot is a point-in-time export of the registry, JSON-ready.
+type Snapshot struct {
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+
+	Requests  uint64 `json:"requests"`
+	Responses uint64 `json:"responses"`
+	Failed    uint64 `json:"failed"`
+	Rejected  uint64 `json:"rejected"`
+	Retries   uint64 `json:"retries"`
+
+	Runs        uint64            `json:"vm_runs"`
+	FaultedRuns uint64            `json:"faulted_runs"`
+	RunStatus   map[string]uint64 `json:"run_status"`
+	Quarantines uint64            `json:"quarantines"`
+
+	InjectedFaults   uint64 `json:"injected_faults"`
+	CorrectedFaults  uint64 `json:"corrected_faults"`
+	CorruptedReplies uint64 `json:"corrupted_replies"`
+
+	TxStarted    uint64            `json:"tx_started"`
+	TxCommitted  uint64            `json:"tx_committed"`
+	FallbackRuns uint64            `json:"fallback_runs"`
+	AbortCauses  map[string]uint64 `json:"abort_causes"`
+
+	ThroughputRPS float64 `json:"throughput_rps"`
+	LatencyP50    float64 `json:"latency_p50_s"`
+	LatencyP95    float64 `json:"latency_p95_s"`
+	LatencyP99    float64 `json:"latency_p99_s"`
+	LatencyMean   float64 `json:"latency_mean_s"`
+	LatencyMax    float64 `json:"latency_max_s"`
+
+	QueueDepth int `json:"queue_depth"`
+	PoolBusy   int `json:"pool_busy"`
+	PoolSize   int `json:"pool_size"`
+}
+
+// Snapshot captures the current state of the registry.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		ElapsedSeconds:   time.Since(m.start).Seconds(),
+		Requests:         m.requests,
+		Responses:        m.responses,
+		Failed:           m.failed,
+		Rejected:         m.rejected,
+		Retries:          m.retries,
+		Runs:             m.runs,
+		FaultedRuns:      m.faultedRuns,
+		RunStatus:        map[string]uint64{},
+		Quarantines:      m.quarantines,
+		InjectedFaults:   m.injected,
+		CorrectedFaults:  m.corrected,
+		CorruptedReplies: m.corrupted,
+		TxStarted:        m.txStarted,
+		TxCommitted:      m.txCommitted,
+		FallbackRuns:     m.fallbacks,
+		AbortCauses:      map[string]uint64{},
+		LatencyP50:       m.hist.percentile(0.50),
+		LatencyP95:       m.hist.percentile(0.95),
+		LatencyP99:       m.hist.percentile(0.99),
+		LatencyMax:       float64(m.hist.max) / 1e9,
+		PoolBusy:         m.poolBusy,
+		PoolSize:         m.poolSize,
+	}
+	for k, v := range m.runStatus {
+		s.RunStatus[k] = v
+	}
+	for k, v := range m.aborts {
+		s.AbortCauses[k] = v
+	}
+	if m.hist.total > 0 {
+		s.LatencyMean = m.hist.sum.Seconds() / float64(m.hist.total)
+	}
+	if s.ElapsedSeconds > 0 {
+		s.ThroughputRPS = float64(m.responses) / s.ElapsedSeconds
+	}
+	if m.queueDepth != nil {
+		s.QueueDepth = m.queueDepth()
+	}
+	return s
+}
+
+// JSON renders the snapshot as one JSON object.
+func (s Snapshot) JSON() []byte {
+	b, _ := json.Marshal(s)
+	return b
+}
+
+// Summary renders the snapshot as a human-readable report table.
+func (s Snapshot) Summary() string {
+	t := &report.Table{
+		Title:  "serve: request-serving metrics",
+		Header: []string{"metric", "value"},
+	}
+	t.AddF(1, "elapsed (s)", s.ElapsedSeconds)
+	t.AddF(0, "requests", s.Requests)
+	t.AddF(0, "responses", s.Responses)
+	t.AddF(0, "failed", s.Failed)
+	t.AddF(0, "rejected (backpressure)", s.Rejected)
+	t.AddF(1, "throughput (req/s)", s.ThroughputRPS)
+	t.Add("latency p50/p95/p99 (ms)", fmt.Sprintf("%.3f / %.3f / %.3f",
+		s.LatencyP50*1e3, s.LatencyP95*1e3, s.LatencyP99*1e3))
+	t.AddF(3, "latency mean (ms)", s.LatencyMean*1e3)
+	t.AddF(0, "vm runs", s.Runs)
+	t.AddF(0, "faulted runs", s.FaultedRuns)
+	t.Add("run status", mapLine(s.RunStatus))
+	t.AddF(0, "retries", s.Retries)
+	t.AddF(0, "quarantines", s.Quarantines)
+	t.AddF(0, "injected faults (SEU)", s.InjectedFaults)
+	t.AddF(0, "corrected faults (tx rollback)", s.CorrectedFaults)
+	t.AddF(0, "corrupted replies", s.CorruptedReplies)
+	t.AddF(0, "transactions started", s.TxStarted)
+	t.AddF(0, "transactions committed", s.TxCommitted)
+	t.AddF(0, "fallback runs", s.FallbackRuns)
+	t.Add("abort causes", mapLine(s.AbortCauses))
+	t.AddF(0, "queue depth", s.QueueDepth)
+	t.Add("pool occupancy", fmt.Sprintf("%d/%d", s.PoolBusy, s.PoolSize))
+	return t.String()
+}
+
+func mapLine(m map[string]uint64) string {
+	if len(m) == 0 {
+		return "-"
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += "  "
+		}
+		out += fmt.Sprintf("%s=%d", k, m[k])
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// The wire protocol is a line-oriented text protocol over TCP, in the
+// spirit of the memcached ASCII protocol the §6.1 case study models:
+//
+//	get <key>            -> VALUE <hex-reply>
+//	put <key> <value>    -> STORED <hex-reply>
+//	scan <key> <n>       -> RANGE <hex> <hex> ...
+//	stats                -> STATS <json snapshot>
+//	ping                 -> PONG
+//	quit                 -> (connection closed)
+//
+// Any failure answers "ERR <message>" and keeps the connection open.
+// Keys and values accept decimal or 0x-prefixed hex.
+
+// maxScan bounds one scan command.
+const maxScan = 1024
+
+// ServeListener accepts connections on l and serves the text protocol
+// until the server is closed (which also closes the listener) or the
+// listener fails. Each connection gets its own goroutine; requests
+// from all connections funnel into the shared bounded queue.
+func (s *Server) ServeListener(l net.Listener) error {
+	go func() {
+		<-s.closed
+		l.Close()
+	}()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return ErrClosed
+			default:
+				return err
+			}
+		}
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 4096), 1<<16)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if !s.dispatch(w, line) {
+			return
+		}
+		if w.Flush() != nil {
+			return
+		}
+	}
+}
+
+// dispatch handles one command line; it returns false when the
+// connection should close.
+func (s *Server) dispatch(w *bufio.Writer, line string) bool {
+	f := strings.Fields(line)
+	cmd := strings.ToLower(f[0])
+	args := f[1:]
+	fail := func(format string, a ...any) bool {
+		fmt.Fprintf(w, "ERR "+format+"\n", a...)
+		return true
+	}
+	switch cmd {
+	case "get":
+		if len(args) != 1 {
+			return fail("usage: get <key>")
+		}
+		key, err := parseNum(args[0])
+		if err != nil {
+			return fail("bad key: %v", err)
+		}
+		v, err := s.Get(key)
+		if err != nil {
+			return fail("%v", err)
+		}
+		fmt.Fprintf(w, "VALUE %#x\n", v)
+	case "put":
+		if len(args) != 2 {
+			return fail("usage: put <key> <value>")
+		}
+		key, err := parseNum(args[0])
+		if err != nil {
+			return fail("bad key: %v", err)
+		}
+		val, err := parseNum(args[1])
+		if err != nil {
+			return fail("bad value: %v", err)
+		}
+		v, err := s.Put(key, val)
+		if err != nil {
+			return fail("%v", err)
+		}
+		fmt.Fprintf(w, "STORED %#x\n", v)
+	case "scan":
+		if len(args) != 2 {
+			return fail("usage: scan <key> <n>")
+		}
+		key, err := parseNum(args[0])
+		if err != nil {
+			return fail("bad key: %v", err)
+		}
+		n, err := parseNum(args[1])
+		if err != nil || n == 0 || n > maxScan {
+			return fail("bad count (1..%d)", maxScan)
+		}
+		vs, err := s.Scan(key, int(n))
+		if err != nil {
+			return fail("%v", err)
+		}
+		w.WriteString("RANGE")
+		for _, v := range vs {
+			fmt.Fprintf(w, " %#x", v)
+		}
+		w.WriteByte('\n')
+	case "stats":
+		fmt.Fprintf(w, "STATS %s\n", s.Metrics().JSON())
+	case "ping":
+		w.WriteString("PONG\n")
+	case "quit":
+		return false
+	default:
+		return fail("unknown command %q", cmd)
+	}
+	return true
+}
+
+func parseNum(tok string) (uint64, error) {
+	return strconv.ParseUint(tok, 0, 64)
+}
+
+// Conn is a client connection to a serving layer's TCP endpoint. It is
+// safe for concurrent use; commands are serialized per connection (use
+// several Conns for parallel load, as haftload does).
+type Conn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a serve endpoint.
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{
+		conn: nc,
+		r:    bufio.NewReader(nc),
+		w:    bufio.NewWriter(nc),
+	}, nil
+}
+
+// roundTrip sends one command line and returns the reply payload after
+// stripping the expected tag.
+func (c *Conn) roundTrip(cmd, wantTag string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.w.WriteString(cmd + "\n"); err != nil {
+		return "", err
+	}
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	line = strings.TrimSpace(line)
+	tag, rest, _ := strings.Cut(line, " ")
+	switch tag {
+	case wantTag:
+		return rest, nil
+	case "ERR":
+		return "", fmt.Errorf("serve: server error: %s", rest)
+	default:
+		return "", fmt.Errorf("serve: unexpected reply %q", line)
+	}
+}
+
+// Get reads a key.
+func (c *Conn) Get(key uint64) (uint64, error) {
+	rest, err := c.roundTrip(fmt.Sprintf("get %d", key), "VALUE")
+	if err != nil {
+		return 0, err
+	}
+	return parseNum(rest)
+}
+
+// Put writes a key and returns the server's reply word.
+func (c *Conn) Put(key, value uint64) (uint64, error) {
+	rest, err := c.roundTrip(fmt.Sprintf("put %d %d", key, value), "STORED")
+	if err != nil {
+		return 0, err
+	}
+	return parseNum(rest)
+}
+
+// Scan reads n consecutive keys starting at key.
+func (c *Conn) Scan(key uint64, n int) ([]uint64, error) {
+	rest, err := c.roundTrip(fmt.Sprintf("scan %d %d", key, n), "RANGE")
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(rest)
+	out := make([]uint64, 0, len(fields))
+	for _, f := range fields {
+		v, err := parseNum(f)
+		if err != nil {
+			return nil, fmt.Errorf("serve: bad scan reply %q: %v", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Stats fetches the server's metrics snapshot.
+func (c *Conn) Stats() (Snapshot, error) {
+	rest, err := c.roundTrip("stats", "STATS")
+	if err != nil {
+		return Snapshot{}, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal([]byte(rest), &s); err != nil {
+		return Snapshot{}, fmt.Errorf("serve: bad stats payload: %v", err)
+	}
+	return s, nil
+}
+
+// Ping round-trips a no-op command.
+func (c *Conn) Ping() error {
+	_, err := c.roundTrip("ping", "PONG")
+	return err
+}
+
+// Close tears the connection down.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.w.WriteString("quit\n")
+	c.w.Flush()
+	return c.conn.Close()
+}

@@ -1,0 +1,575 @@
+// Package serve is the hardened request-serving layer: it keeps a warm
+// pool of HAFT-hardened VM instances, dispatches key-value requests
+// from a bounded queue across the pool with backpressure, and applies
+// a fault-aware execution policy in front of the paper's machinery —
+// the live-traffic counterpart of the batch-oriented §6.1 case study.
+//
+// Execution policy:
+//
+//   - each pool worker owns one vm.Machine built from the hardened KV
+//     server program (internal/workloads.KVServe) and reuses it across
+//     batches via Machine.Reset — no per-request compile or clone;
+//   - requests are gathered into batches of up to Config.Batch and one
+//     batch is one machine run, with per-request transactions inside;
+//   - a run that ends in any non-ok status (ILR detected a fault that
+//     recovery did not absorb, the "OS" killed the program, or the run
+//     hung) fails no requests: every request of the batch is retried,
+//     with exponential backoff, preferring a different instance than
+//     the one that faulted — up to Config.MaxRetries times;
+//   - an instance whose runs fault repeatedly is quarantined: its
+//     machine is discarded and rebuilt from the hardened module before
+//     it may serve again;
+//   - an optional SEU campaign (Config.SEURate) arms the §4.2 fault
+//     injector on a sampled fraction of runs, so the retry and
+//     quarantine paths are exercised by real single-event upsets.
+//
+// Every request is accounted in a Metrics registry (throughput,
+// latency percentiles, queue depth, pool occupancy, HTM abort causes,
+// corrected/uncorrected fault counts), exportable as JSON and as a
+// report table.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Pool is the number of warm VM instances (= worker goroutines).
+	Pool int
+	// QueueDepth bounds the request queue; a full queue pushes back on
+	// submitters (Do blocks, TryDo rejects).
+	QueueDepth int
+	// Batch is the maximum number of requests executed in one machine
+	// run.
+	Batch int
+	// MaxRetries bounds how many times one request is re-executed
+	// after faulted runs before it is failed.
+	MaxRetries int
+	// RetryBackoff is the base delay before a faulted batch re-enters
+	// the queue; it doubles per retry.
+	RetryBackoff time.Duration
+	// QuarantineAfter is the number of consecutive faulted runs after
+	// which an instance is quarantined and rebuilt.
+	QuarantineAfter int
+	// Harden selects the hardening pipeline for the serving program
+	// (default: full HAFT).
+	Harden core.Config
+	// KV parameterizes the serving program (key range, value work,
+	// batch buffer capacity — raised to Batch automatically).
+	KV workloads.KVServeConfig
+	// SEURate is the expected number of injected single-event upsets
+	// per request (0 disables the campaign). Faults are injected by
+	// arming the §4.2 fault plan on sampled runs.
+	SEURate float64
+	// Verify checks every reply against the host-side reference
+	// function and counts mismatches as corrupted replies.
+	Verify bool
+	// Seed feeds the injection RNGs.
+	Seed int64
+}
+
+// DefaultConfig returns the standard serving configuration: 8 warm
+// HAFT instances, batches of 32, 3 retries, quarantine after 3
+// consecutive faulted runs, verification on.
+func DefaultConfig() Config {
+	return Config{
+		Pool:            8,
+		QueueDepth:      1024,
+		Batch:           32,
+		MaxRetries:      3,
+		RetryBackoff:    200 * time.Microsecond,
+		QuarantineAfter: 3,
+		Harden:          core.DefaultConfig(),
+		KV:              workloads.DefaultKVServeConfig(),
+		Verify:          true,
+		Seed:            1,
+	}
+}
+
+// Request is one key-value operation.
+type Request struct {
+	Write bool
+	Key   uint64
+	Value uint64
+}
+
+// ErrOverloaded is returned by TryDo when the queue is full.
+var ErrOverloaded = errors.New("serve: queue full")
+
+// ErrClosed is returned for requests submitted to a closed server.
+var ErrClosed = errors.New("serve: server closed")
+
+// item is one queued request with its completion channel.
+type item struct {
+	word     uint64
+	retries  int
+	exclude  int // instance id that last faulted on it (-1: none)
+	enqueued time.Time
+	done     chan result
+}
+
+type result struct {
+	val uint64
+	err error
+}
+
+// instance is one warm VM in the pool.
+type instance struct {
+	id         int
+	mach       *vm.Machine
+	reqsAddr   uint64
+	nreqAddr   uint64
+	replyAddr  uint64
+	rng        *rand.Rand
+	generation int
+	// consecutiveFaults drives the quarantine policy.
+	consecutiveFaults int
+	usedSinceReset    bool
+}
+
+// Server is the request-serving layer.
+type Server struct {
+	cfg     Config
+	mod     moduleSource
+	prog    *workloads.Program
+	queue   chan *item
+	metrics *Metrics
+	closed  chan struct{}
+	once    sync.Once
+	wg      sync.WaitGroup
+
+	// perReqWrites estimates the register-write population of one
+	// request (calibrated at startup) for uniform SEU targeting.
+	perReqWrites uint64
+	// runBudget bounds a batch run's dynamic instructions so hung runs
+	// are detected quickly.
+	runBudget uint64
+}
+
+// moduleSource builds fresh machines (instance rebuilds after
+// quarantine).
+type moduleSource struct {
+	prog *workloads.Program
+	cfg  vm.Config
+}
+
+func (ms moduleSource) newMachine(seedBump int64) *vm.Machine {
+	cfg := ms.cfg
+	cfg.HTM.Seed += seedBump
+	return vm.New(ms.prog.Module.Clone(), 1, cfg)
+}
+
+// NewServer hardens the KV serving program, calibrates the fault
+// injector, and starts the warm pool.
+func NewServer(cfg Config) (*Server, error) {
+	d := DefaultConfig()
+	if cfg.Pool <= 0 {
+		cfg.Pool = d.Pool
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = d.QueueDepth
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = d.Batch
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = d.RetryBackoff
+	}
+	if cfg.QuarantineAfter <= 0 {
+		cfg.QuarantineAfter = d.QuarantineAfter
+	}
+	if cfg.Harden.Mode == 0 && cfg.Harden.TxThreshold == 0 {
+		cfg.Harden = d.Harden
+	}
+	if cfg.KV.MaxBatch < cfg.Batch {
+		cfg.KV.MaxBatch = cfg.Batch
+	}
+	if cfg.KV.Records <= 0 {
+		cfg.KV.Records = d.KV.Records
+	}
+	if cfg.KV.ValueWork <= 0 {
+		cfg.KV.ValueWork = d.KV.ValueWork
+	}
+
+	prog := workloads.KVServe(cfg.KV)
+	hcfg := cfg.Harden
+	if hcfg.TxThreshold == 0 {
+		hcfg.TxThreshold = prog.TxThreshold
+	}
+	if hcfg.Blacklist == nil {
+		hcfg.Blacklist = prog.Blacklist
+	}
+	mod, err := core.Harden(prog.Module, hcfg)
+	if err != nil {
+		return nil, fmt.Errorf("serve: harden: %w", err)
+	}
+	hp := *prog
+	hp.Module = mod
+
+	s := &Server{
+		cfg:    cfg,
+		prog:   &hp,
+		closed: make(chan struct{}),
+	}
+	s.mod = moduleSource{prog: &hp, cfg: vm.DefaultConfig()}
+	s.queue = make(chan *item, cfg.QueueDepth)
+	s.metrics = newMetrics(cfg.Pool, func() int { return len(s.queue) })
+
+	if err := s.calibrate(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Pool; i++ {
+		s.wg.Add(1)
+		go s.worker(i)
+	}
+	return s, nil
+}
+
+// calibrate runs one full fault-free batch to measure the per-request
+// register-write population (the SEU target space) and the dynamic
+// instruction budget for hang detection.
+func (s *Server) calibrate() error {
+	inst := s.newInstance(-1)
+	words := make([]uint64, s.cfg.Batch)
+	for i := range words {
+		words[i] = workloads.KVRequestWord(i%2 == 0, uint64(i%s.cfg.KV.Records), uint64(i))
+	}
+	s.pokeBatch(inst, words)
+	if st := inst.mach.Run(s.prog.SpecsFor(1)...); st != vm.StatusOK {
+		return fmt.Errorf("serve: calibration run failed: %v (%s)",
+			st, inst.mach.Stats().CrashReason)
+	}
+	stats := inst.mach.Stats()
+	s.perReqWrites = stats.RegWrites/uint64(len(words)) + 1
+	s.runBudget = stats.DynInstrs*10 + 100_000
+	return nil
+}
+
+// newInstance builds a warm VM instance. id -1 marks the calibration
+// scratch instance.
+func (s *Server) newInstance(id int) *instance {
+	mach := s.mod.newMachine(int64(id) + 1)
+	if s.runBudget > 0 { // still 0 during the calibration run
+		mach.Cfg.MaxDynInstrs = s.runBudget
+	}
+	return &instance{
+		id:        id,
+		mach:      mach,
+		reqsAddr:  mach.Mod.Global(workloads.KVReqsGlobal).Addr,
+		nreqAddr:  mach.Mod.Global(workloads.KVNReqGlobal).Addr,
+		replyAddr: mach.Mod.Global(workloads.KVRepliesGlobal).Addr,
+		rng:       rand.New(rand.NewSource(s.cfg.Seed + int64(id)*7919)),
+	}
+}
+
+// rebuild discards a quarantined instance's machine and constructs a
+// fresh one (new memory image, new HTM seed lineage).
+func (inst *instance) rebuild(s *Server) {
+	inst.generation++
+	fresh := s.mod.newMachine(int64(inst.id) + 1 + int64(inst.generation)*104729)
+	fresh.Cfg.MaxDynInstrs = s.runBudget
+	inst.mach = fresh
+	inst.consecutiveFaults = 0
+	inst.usedSinceReset = false
+}
+
+func (s *Server) pokeBatch(inst *instance, words []uint64) {
+	for i, w := range words {
+		inst.mach.Poke(inst.reqsAddr+uint64(i)*8, w)
+	}
+	inst.mach.Poke(inst.nreqAddr, uint64(len(words)))
+}
+
+// worker owns one instance and serves batches until shutdown.
+func (s *Server) worker(id int) {
+	defer s.wg.Done()
+	inst := s.newInstance(id)
+	for {
+		select {
+		case <-s.closed:
+			return
+		case it := <-s.queue:
+			batch := s.gather(it, inst.id)
+			if len(batch) > 0 {
+				s.runBatch(inst, batch)
+			}
+		}
+	}
+}
+
+// gather assembles a batch: the first item plus whatever else is
+// immediately available, up to the batch bound. Items excluded from
+// this instance (they faulted here last time) are pushed back so a
+// different instance picks them up.
+func (s *Server) gather(first *item, id int) []*item {
+	batch := make([]*item, 0, s.cfg.Batch)
+	add := func(it *item) {
+		if it.exclude == id && s.cfg.Pool > 1 {
+			it.exclude = -1 // give way once, accept anywhere after
+			s.requeue(it, 0)
+			return
+		}
+		batch = append(batch, it)
+	}
+	add(first)
+	for len(batch) < s.cfg.Batch {
+		select {
+		case it := <-s.queue:
+			add(it)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// requeue re-submits an item after a delay without blocking a worker.
+func (s *Server) requeue(it *item, delay time.Duration) {
+	push := func() {
+		select {
+		case s.queue <- it:
+		case <-s.closed:
+			it.done <- result{err: ErrClosed}
+		}
+	}
+	if delay <= 0 {
+		// Fast path: try inline, fall back to a goroutine so a full
+		// queue cannot deadlock the worker that is requeueing.
+		select {
+		case s.queue <- it:
+		default:
+			go push()
+		}
+		return
+	}
+	time.AfterFunc(delay, push)
+}
+
+// runBatch executes one batch on the instance and applies the
+// fault-aware policy to the outcome.
+func (s *Server) runBatch(inst *instance, batch []*item) {
+	s.metrics.busy(1)
+	defer s.metrics.busy(-1)
+
+	if inst.usedSinceReset {
+		inst.mach.Reset()
+	}
+	inst.usedSinceReset = true
+
+	words := make([]uint64, len(batch))
+	for i, it := range batch {
+		words[i] = it.word
+	}
+	s.pokeBatch(inst, words)
+
+	// SEU campaign: arm the §4.2 injector on a sampled fraction of
+	// runs, uniformly across the batch's expected dynamic register
+	// writes.
+	if p := s.cfg.SEURate * float64(len(batch)); p > 0 && inst.rng.Float64() < p {
+		pop := int64(s.perReqWrites * uint64(len(batch)))
+		inst.mach.SetFaultPlan(&vm.FaultPlan{
+			TargetIndex: uint64(inst.rng.Int63n(pop)),
+			Mask:        randMask(inst.rng),
+		})
+		s.metrics.injectedFault()
+	}
+
+	status := inst.mach.Run(s.prog.SpecsFor(1)...)
+	s.metrics.run(status, inst.mach.Stats(), inst.mach.HTM.Stats)
+
+	if status != vm.StatusOK {
+		// Detected-but-uncorrected fault (ILR fail-stop, OS kill, or
+		// hang): no reply from this run is trusted. Retry every
+		// request on a different instance, with backoff; quarantine
+		// the instance if it keeps faulting.
+		inst.consecutiveFaults++
+		if inst.consecutiveFaults >= s.cfg.QuarantineAfter {
+			s.metrics.quarantine()
+			inst.rebuild(s)
+		}
+		for _, it := range batch {
+			if it.retries >= s.cfg.MaxRetries {
+				s.metrics.failure()
+				it.done <- result{err: fmt.Errorf(
+					"serve: request failed after %d retries (last run: %v)",
+					it.retries, status)}
+				continue
+			}
+			it.retries++
+			it.exclude = inst.id
+			s.metrics.retry()
+			s.requeue(it, s.cfg.RetryBackoff<<uint(it.retries-1))
+		}
+		return
+	}
+	inst.consecutiveFaults = 0
+
+	replies := make([]uint64, len(batch))
+	for i := range batch {
+		replies[i] = inst.mach.Peek(inst.replyAddr + uint64(i)*8)
+	}
+	if s.cfg.Verify {
+		for i, it := range batch {
+			if replies[i] != workloads.KVReference(it.word, s.cfg.KV.ValueWork) {
+				s.metrics.corruptedReply()
+			}
+		}
+		if out := inst.mach.Output(); len(out) != 1 || out[0] != workloads.KVReplyChecksum(replies) {
+			s.metrics.corruptedReply()
+		}
+	}
+	now := time.Now()
+	for i, it := range batch {
+		s.metrics.response(now.Sub(it.enqueued))
+		it.done <- result{val: replies[i]}
+	}
+}
+
+// randMask mirrors the fault package's SEU corruption pattern: half
+// single-bit flips, half random integers.
+func randMask(rng *rand.Rand) uint64 {
+	if rng.Intn(2) == 0 {
+		return 1 << uint(rng.Intn(64))
+	}
+	for {
+		if m := rng.Uint64(); m != 0 {
+			return m
+		}
+	}
+}
+
+// Do submits a request and blocks until its response (backpressure:
+// a full queue blocks the submitter).
+func (s *Server) Do(req Request) (uint64, error) {
+	return s.submit(req, true)
+}
+
+// TryDo submits a request but returns ErrOverloaded instead of
+// blocking when the queue is full.
+func (s *Server) TryDo(req Request) (uint64, error) {
+	return s.submit(req, false)
+}
+
+func (s *Server) submit(req Request, wait bool) (uint64, error) {
+	select {
+	case <-s.closed:
+		return 0, ErrClosed
+	default:
+	}
+	s.metrics.request()
+	it := &item{
+		word:     workloads.KVRequestWord(req.Write, req.Key, req.Value),
+		exclude:  -1,
+		enqueued: time.Now(),
+		done:     make(chan result, 1),
+	}
+	if wait {
+		select {
+		case s.queue <- it:
+		case <-s.closed:
+			return 0, ErrClosed
+		}
+	} else {
+		select {
+		case s.queue <- it:
+		default:
+			s.metrics.rejectedN(1)
+			return 0, ErrOverloaded
+		}
+	}
+	select {
+	case r := <-it.done:
+		return r.val, r.err
+	case <-s.closed:
+		// Drain either the late result or report shutdown.
+		select {
+		case r := <-it.done:
+			return r.val, r.err
+		default:
+			return 0, ErrClosed
+		}
+	}
+}
+
+// Get reads a key.
+func (s *Server) Get(key uint64) (uint64, error) {
+	return s.Do(Request{Key: key})
+}
+
+// Put writes a key with a value.
+func (s *Server) Put(key, value uint64) (uint64, error) {
+	return s.Do(Request{Write: true, Key: key, Value: value})
+}
+
+// Scan reads n consecutive keys starting at key (wrapping at the key
+// range) and returns their replies in order.
+func (s *Server) Scan(key uint64, n int) ([]uint64, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	type slot struct {
+		i   int
+		val uint64
+		err error
+	}
+	ch := make(chan slot, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			k := (key + uint64(i)) % uint64(s.cfg.KV.Records)
+			v, err := s.Get(k)
+			ch <- slot{i, v, err}
+		}(i)
+	}
+	out := make([]uint64, n)
+	var firstErr error
+	for i := 0; i < n; i++ {
+		r := <-ch
+		out[r.i] = r.val
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// Records returns the configured key range.
+func (s *Server) Records() int { return s.cfg.KV.Records }
+
+// ValueWork returns the configured per-request serialization rounds
+// (clients use it to verify replies against the reference function).
+func (s *Server) ValueWork() int { return s.cfg.KV.ValueWork }
+
+// Metrics returns a snapshot of the live metrics registry.
+func (s *Server) Metrics() Snapshot { return s.metrics.Snapshot() }
+
+// Close shuts the server down: pool workers stop after their current
+// batch, queued requests fail with ErrClosed.
+func (s *Server) Close() {
+	s.once.Do(func() {
+		close(s.closed)
+		s.wg.Wait()
+		for {
+			select {
+			case it := <-s.queue:
+				it.done <- result{err: ErrClosed}
+			default:
+				return
+			}
+		}
+	})
+}

@@ -318,6 +318,47 @@ func New(m *ir.Module, nthreads int, cfg Config) *Machine {
 // SetFaultPlan arms a single-fault injection (may be nil to disarm).
 func (m *Machine) SetFaultPlan(p *FaultPlan) { m.fault = p }
 
+// Reset returns the machine to its post-New state so it can run again
+// without re-cloning the module or reallocating memory: globals are
+// re-initialized, the heap and stacks are zeroed, the HTM system and
+// per-core scoreboards restart from cycle 0, and all statistics are
+// cleared. A reused machine is byte-identical in behavior to a fresh
+// one (the serve layer's warm-pool contract); installed tracers and
+// breakpoints survive, armed fault plans do not.
+func (m *Machine) Reset() {
+	for i := range m.mem {
+		m.mem[i] = 0
+	}
+	for _, g := range m.Mod.Globals {
+		copy(m.mem[g.Addr/8:], g.Init)
+	}
+	m.HTM.Reset()
+	clear(m.locks)
+	clear(m.barriers)
+	m.heapNext = m.Mod.HeapBase
+	m.output = nil
+	m.nthreads = 0
+	m.status = StatusOK
+	m.stats = RunStats{}
+	m.fault = nil
+	for _, c := range m.cores {
+		c.sched = cpu.NewSched(m.Cfg.IssueWidth)
+		c.frames = c.frames[:0]
+		c.state = threadDone
+		c.attempts = 0
+		c.snapshot = nil
+		c.counter = 0
+		c.txEntered = 0
+		c.elided = c.elided[:0]
+		c.l1tags = [l1Sets]uint64{}
+		c.waitLock, c.waitBarrier = 0, 0
+		c.grantLock, c.grantBarrier = 0, 0
+		c.hadExplicit = false
+		c.dynLimit, c.dynBase, c.commitStreak = 0, 0, 0
+		c.doneVal = 0
+	}
+}
+
 // TraceEvent describes one executed register-writing instruction, in
 // the spirit of Intel SDE's debugtrace that the paper's fault injector
 // builds on (§4.2): the dynamic occurrence index, its location, and

@@ -1,0 +1,74 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+// pokeBatch writes a request batch into a fresh-or-reset machine,
+// resolving addresses from the machine's own laid-out module.
+func pokeBatch(t *testing.T, mach *vm.Machine, reqs []uint64) {
+	t.Helper()
+	base := mach.Mod.Global(KVReqsGlobal).Addr
+	for i, r := range reqs {
+		mach.Poke(base+uint64(i)*8, r)
+	}
+	mach.Poke(mach.Mod.Global(KVNReqGlobal).Addr, uint64(len(reqs)))
+}
+
+func readReplies(mach *vm.Machine, n int) []uint64 {
+	base := mach.Mod.Global(KVRepliesGlobal).Addr
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = mach.Peek(base + uint64(i)*8)
+	}
+	return out
+}
+
+// TestKVServeMatchesReference runs native and fully hardened batches
+// and checks every reply against the host-side reference function,
+// plus the externalized checksum, across machine reuse.
+func TestKVServeMatchesReference(t *testing.T) {
+	cfg := DefaultKVServeConfig()
+	cfg.MaxBatch = 16
+	p := KVServe(cfg)
+
+	for _, mode := range []core.Mode{core.ModeNative, core.ModeHAFT} {
+		hcfg := core.DefaultConfig()
+		hcfg.Mode = mode
+		hcfg.TxThreshold = p.TxThreshold
+		hcfg.Blacklist = p.Blacklist
+		mod, err := core.Harden(p.Module, hcfg)
+		if err != nil {
+			t.Fatalf("%v: harden: %v", mode, err)
+		}
+		hp := *p
+		hp.Module = mod
+		mach := vm.New(mod.Clone(), 1, vm.DefaultConfig())
+		for batch := 0; batch < 3; batch++ {
+			if batch > 0 {
+				mach.Reset()
+			}
+			reqs := make([]uint64, cfg.MaxBatch)
+			for i := range reqs {
+				reqs[i] = KVRequestWord(i%3 == 0, uint64((batch*31+i*7)%cfg.Records), uint64(i*13))
+			}
+			pokeBatch(t, mach, reqs)
+			if st := mach.Run(hp.SpecsFor(1)...); st != vm.StatusOK {
+				t.Fatalf("%v batch %d: status %v (%s)", mode, batch, st, mach.Stats().CrashReason)
+			}
+			got := readReplies(mach, len(reqs))
+			for i, r := range reqs {
+				if want := KVReference(r, cfg.ValueWork); got[i] != want {
+					t.Fatalf("%v batch %d: reply[%d] = %#x, want %#x", mode, batch, i, got[i], want)
+				}
+			}
+			out := mach.Output()
+			if len(out) != 1 || out[0] != KVReplyChecksum(got) {
+				t.Fatalf("%v batch %d: checksum output %v, want [%#x]", mode, batch, out, KVReplyChecksum(got))
+			}
+		}
+	}
+}
