@@ -32,6 +32,7 @@ import (
 func main() {
 	scale := flag.Int("scale", 1, "input scale (1 = default; fault injection always uses the smallest inputs)")
 	injections := flag.Int("injections", 150, "fault injections per program per mode (paper: 2500)")
+	moe := flag.Float64("moe", 0, "margin of error for early-stopping campaigns (fimodels; 0 disables)")
 	seed := flag.Int64("seed", 1, "campaign seed")
 	benches := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
 	jsonOut := flag.Bool("json", false, "also write BENCH_<id>.json with machine-readable results")
@@ -48,6 +49,7 @@ func main() {
 	opts := haft.DefaultExperimentOptions()
 	opts.Scale = *scale
 	opts.Injections = *injections
+	opts.MOE = *moe
 	opts.Seed = *seed
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")

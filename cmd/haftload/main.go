@@ -10,6 +10,10 @@
 //	         [-duration 10s] [-conns 8] [-records 1024]
 //	         [-valuework 4] [-verify] [-seed 1] [-json]
 //
+// Connections retry the initial dial with exponential backoff until
+// the load deadline, so haftload can be launched before haftserve
+// finishes binding its listener.
+//
 // Every response is optionally verified against the reference reply
 // function — a mismatch is a silently corrupted response that slipped
 // past the server's hardening, the number the paper's SDC columns
@@ -88,7 +92,7 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			c, err := haft.DialServer(*addr)
+			c, err := dialRetry(*addr, deadline)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "haftload: conn %d: %v\n", i, err)
 				return
@@ -171,5 +175,27 @@ func main() {
 
 	if corrupted.Load() > 0 {
 		os.Exit(1)
+	}
+}
+
+// dialRetry connects to the server, retrying with exponential backoff
+// until it succeeds or the load deadline passes — so haftload can be
+// started before (or concurrently with) haftserve without racing its
+// listen socket.
+func dialRetry(addr string, deadline time.Time) (*haft.ServeConn, error) {
+	backoff := 50 * time.Millisecond
+	const maxBackoff = 2 * time.Second
+	for {
+		c, err := haft.DialServer(addr)
+		if err == nil {
+			return c, nil
+		}
+		if !time.Now().Add(backoff).Before(deadline) {
+			return nil, fmt.Errorf("dial %s: %w (gave up at the load deadline)", addr, err)
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
 	}
 }

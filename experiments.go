@@ -111,6 +111,20 @@ var experimentRunners = map[string]func(exp.Options) (string, error){
 		}
 		return snap.Summary(), nil
 	},
+	"fimodels": func(o exp.Options) (string, error) {
+		_, t, err := exp.FIModels(o)
+		if err != nil {
+			return "", err
+		}
+		return t.String(), nil
+	},
+	"chaos": func(o exp.Options) (string, error) {
+		snap, err := exp.ChaosBench(o)
+		if err != nil {
+			return "", err
+		}
+		return snap.Summary(), nil
+	},
 }
 
 // experimentData maps experiment ids to runners with a structured,
@@ -119,6 +133,20 @@ var experimentRunners = map[string]func(exp.Options) (string, error){
 var experimentData = map[string]func(exp.Options) (any, string, error){
 	"serve": func(o exp.Options) (any, string, error) {
 		snap, err := exp.ServeBench(o)
+		if err != nil {
+			return nil, "", err
+		}
+		return snap, snap.Summary(), nil
+	},
+	"fimodels": func(o exp.Options) (any, string, error) {
+		res, t, err := exp.FIModels(o)
+		if err != nil {
+			return nil, "", err
+		}
+		return res, t.String(), nil
+	},
+	"chaos": func(o exp.Options) (any, string, error) {
+		snap, err := exp.ChaosBench(o)
 		if err != nil {
 			return nil, "", err
 		}

@@ -291,6 +291,84 @@ func InjectFaults(p *Program, n int, seed int64) (FaultReport, error) {
 	}, nil
 }
 
+// FaultModel names one fault model of the campaign engine: register
+// bit-flip ("reg"), memory-word flip ("mem"), branch-direction
+// inversion ("branch"), address-line fault ("addr"), instruction skip
+// ("skip"), or double SEU ("double").
+type FaultModel = fault.Model
+
+// The fault-model family.
+const (
+	FaultModelRegister = fault.ModelRegister
+	FaultModelMemory   = fault.ModelMemory
+	FaultModelBranch   = fault.ModelBranch
+	FaultModelAddress  = fault.ModelAddress
+	FaultModelSkip     = fault.ModelSkip
+	FaultModelDouble   = fault.ModelDouble
+)
+
+// FaultModels lists every fault model of the campaign engine.
+func FaultModels() []FaultModel { return fault.AllModels() }
+
+// ParseFaultModels resolves a comma-separated fault-model list (e.g.
+// "reg,mem,branch").
+func ParseFaultModels(s string) ([]FaultModel, error) { return fault.ParseModels(s) }
+
+// FaultFlow restricts register-indexed fault models to the master or
+// shadow ILR data flow — injecting into each separately validates the
+// symmetry of the redundant flows.
+type FaultFlow = vm.FaultFlow
+
+// Fault flows.
+const (
+	FaultFlowAny    = vm.FlowAny
+	FaultFlowMaster = vm.FlowMaster
+	FaultFlowShadow = vm.FlowShadow
+)
+
+// ParseFaultFlow resolves a flow name ("any", "master", "shadow").
+func ParseFaultFlow(s string) (FaultFlow, error) { return fault.ParseFlow(s) }
+
+// FaultCampaignConfig parameterizes a multi-model campaign: the model
+// mix, the injection budget, stratified-sampling segments, the target
+// margin of error and confidence level for early stopping, worker
+// fan-out, and an optional checkpoint to resume from.
+type FaultCampaignConfig = fault.CampaignConfig
+
+// FaultCampaignResult is the (checkpointable) outcome of a campaign:
+// per-model outcome counts with Wilson confidence intervals, site
+// breakdowns, recovery work, and merged HTM statistics. Serialize it
+// with Checkpoint and resume via FaultCampaignConfig.Resume.
+type FaultCampaignResult = fault.CampaignResult
+
+// LoadFaultCheckpoint restores a campaign state serialized with
+// FaultCampaignResult.Checkpoint.
+func LoadFaultCheckpoint(b []byte) (*FaultCampaignResult, error) {
+	return fault.LoadCheckpoint(b)
+}
+
+// InjectFaultsMulti runs a multi-model fault-injection campaign
+// against the program with two threads (the paper's fault-injection
+// configuration). Unlike InjectFaults it covers the whole fault-model
+// family, reports confidence intervals, stops early at the configured
+// margin of error, and supports checkpoint/resume.
+func InjectFaultsMulti(p *Program, cfg FaultCampaignConfig) (*FaultCampaignResult, error) {
+	tg := &fault.Target{
+		Name:    p.Name,
+		Module:  p.prog.Module,
+		Threads: 2,
+		VM:      vm.DefaultConfig(),
+		Specs:   p.prog.SpecsFor(2),
+	}
+	return fault.RunCampaign(tg, cfg)
+}
+
+// FaultCampaignTable renders campaign results as the per-model
+// vulnerability table (class rates with confidence intervals).
+func FaultCampaignTable(results ...*FaultCampaignResult) string {
+	return fault.CampaignTable(results...).String()
+}
+
 // String renders the report like a Figure 9 bar.
 func (r FaultReport) String() string {
 	return fmt.Sprintf(
@@ -319,6 +397,12 @@ type ServeConfig = serve.Config
 
 // ServeRequest is one key-value operation against a Server.
 type ServeRequest = serve.Request
+
+// ServeChaosConfig parameterizes the serving layer's chaos testing:
+// per-run probabilities of instance kills, hangs (budget exhaustion),
+// and multi-upset SEU storms. Set it in ServeConfig.Chaos, usually
+// together with ServeConfig.Deadline.
+type ServeChaosConfig = serve.ChaosConfig
 
 // Server is the hardened request-serving layer: a warm pool of
 // HAFT-hardened VM instances behind a bounded queue, with fault-aware

@@ -38,6 +38,10 @@ type Options struct {
 	// (paper: 2,500; the default is scaled down to keep the harness
 	// interactive — pass more for a full campaign).
 	Injections int
+	// MOE, if positive, lets multi-model campaigns stop early once
+	// every model's per-outcome confidence-interval half-width falls
+	// under this margin of error (e.g. 0.02).
+	MOE float64
 	// Seed makes campaigns reproducible.
 	Seed int64
 	// Benchmarks restricts the benchmark list (nil = all).

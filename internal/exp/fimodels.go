@@ -1,0 +1,101 @@
+package exp
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/report"
+	"repro/internal/serve"
+	"repro/internal/workloads"
+	"repro/internal/ycsb"
+)
+
+// fiModelBenches is the default drill-down pair for the multi-model
+// campaigns: the paper's §5.5 per-benchmark discussion singles out
+// linearreg (best case) and canneal (worst case).
+var fiModelBenches = []string{"linearreg", "canneal"}
+
+// FIModels runs the multi-model fault-injection campaign: every fault
+// model (register, memory, branch, address, skip, double-SEU) against
+// the HAFT-hardened build of each benchmark, with o.Injections runs
+// per model, stratified sampling, and Wilson confidence intervals. A
+// positive o.MOE stops each campaign early once every model's margin
+// of error is reached.
+func FIModels(o Options) ([]*fault.CampaignResult, *report.Table, error) {
+	list := o.Benchmarks
+	if len(list) == 0 {
+		list = fiModelBenches
+	}
+	models := fault.AllModels()
+	results := parallelMap(len(list), func(i int) *fault.CampaignResult {
+		spec, err := workloads.ByName(list[i])
+		if err != nil {
+			panic(err)
+		}
+		tg := fiTarget(spec, core.ModeHAFT, core.OptFaultProp, o)
+		cr, err := fault.RunCampaign(tg, fault.CampaignConfig{
+			Models:     models,
+			Injections: o.Injections * len(models),
+			Seed:       o.Seed,
+			MOE:        o.MOE,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return cr
+	})
+	return results, fault.CampaignTable(results...), nil
+}
+
+// ChaosBench drives the serving layer under adversarial conditions:
+// YCSB-A load while pool instances are killed, wedged, and hit by SEU
+// storms mid-traffic, with per-request deadlines armed. With reply
+// verification on, the snapshot's corrupted-reply counter is the
+// experiment's headline (it must stay zero; the retry, quarantine and
+// watchdog machinery absorbs every failure).
+func ChaosBench(o Options) (serve.Snapshot, error) {
+	cfg := serve.DefaultConfig()
+	cfg.Pool = 4
+	cfg.Seed = o.Seed
+	cfg.SEURate = 0.005
+	cfg.MaxRetries = 8
+	cfg.Chaos = serve.ChaosConfig{
+		KillRate:  0.02,
+		HangRate:  0.02,
+		StormRate: 0.05,
+		StormSize: 4,
+	}
+	cfg.Deadline = 5 * time.Second
+	srv, err := serve.NewServer(cfg)
+	if err != nil {
+		return serve.Snapshot{}, err
+	}
+	defer srv.Close()
+
+	requests := 2000
+	if o.Scale > 1 {
+		requests *= o.Scale
+	}
+	const clients = 16
+	w := ycsb.WorkloadA(srv.Records())
+	done := make(chan struct{})
+	for i := 0; i < clients; i++ {
+		go func(i int) {
+			defer func() { done <- struct{}{} }()
+			gen := ycsb.NewGenerator(w, o.Seed+int64(i)*1000003)
+			for n := 0; n < requests/clients; n++ {
+				r := gen.Next()
+				req := serve.Request{Write: r.Op == ycsb.OpWrite, Key: r.Key}
+				if req.Write {
+					req.Value = r.Key*2654435761 + uint64(i)
+				}
+				srv.Do(req) //nolint:errcheck // failures land in the metrics
+			}
+		}(i)
+	}
+	for i := 0; i < clients; i++ {
+		<-done
+	}
+	return srv.Metrics(), nil
+}

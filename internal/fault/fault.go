@@ -16,7 +16,6 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/ir"
 	"repro/internal/vm"
@@ -209,11 +208,12 @@ func (r *Result) String() string {
 		r.Rate(OutcomeHAFTCorrected), r.Rate(OutcomeMasked))
 }
 
-// Campaign runs n single-fault injections against the target and
-// classifies each outcome, fanning the independent runs out across
-// CPU cores — the role the paper's 25-machine cluster plays (§5.1).
-// Results are identical to a serial campaign with the same seed: the
-// injection plans are drawn up front from a single RNG.
+// Campaign runs n single-fault register-flip injections against the
+// target and classifies each outcome, fanning the independent runs
+// out across CPU cores — the role the paper's 25-machine cluster
+// plays (§5.1). It is a thin wrapper over RunCampaign with the
+// classic single-model configuration; results are independent of
+// worker count because every run derives its own RNG from (seed, i).
 func Campaign(t *Target, n int, seed int64) (*Result, error) {
 	return campaign(t, n, seed, runtime.GOMAXPROCS(0))
 }
@@ -224,79 +224,25 @@ func CampaignSerial(t *Target, n int, seed int64) (*Result, error) {
 }
 
 func campaign(t *Target, n int, seed int64, workers int) (*Result, error) {
-	ref := t.newMachine()
-	ref.Run(t.Specs...)
-	if ref.Status() != vm.StatusOK {
-		return nil, fmt.Errorf("fault: reference run of %s failed: %v (%s)",
-			t.Name, ref.Status(), ref.Stats().CrashReason)
+	cr, err := RunCampaign(t, CampaignConfig{
+		Models:     []Model{ModelRegister},
+		Injections: n,
+		Seed:       seed,
+		Segments:   1, // plain uniform sampling, as in the paper
+		Workers:    workers,
+	})
+	if err != nil {
+		return nil, err
 	}
-	refOut := append([]uint64(nil), ref.Output()...)
-	pop := ref.Stats().RegWrites
-	if pop == 0 {
-		return nil, fmt.Errorf("fault: %s executes no register-writing instructions", t.Name)
-	}
-	budget := ref.Stats().DynInstrs*10 + 100_000
-
-	res := &Result{
-		Name:         t.Name,
-		Sites:        make(map[string]*SiteStats),
-		RefRegWrites: pop,
-		RefCycles:    ref.Stats().Cycles,
-	}
-	// Draw every injection plan up front so the outcome set does not
-	// depend on worker count or scheduling.
-	rng := rand.New(rand.NewSource(seed))
-	plans := make([]*vm.FaultPlan, n)
-	for i := range plans {
-		// Uniform dynamic instruction occurrence; random non-zero mask
-		// (both single- and multi-bit upsets, like the XOR with a
-		// random integer in §4.2).
-		plans[i] = &vm.FaultPlan{
-			TargetIndex: uint64(rng.Int63n(int64(pop))),
-			Mask:        randMask(rng),
-		}
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > n {
-		workers = n
-	}
-	outcomes := make([]Outcome, n)
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				mach := t.newMachine()
-				mach.Cfg.MaxDynInstrs = budget
-				mach.SetFaultPlan(plans[i])
-				mach.Run(t.Specs...)
-				outcomes[i] = Classify(mach, refOut)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	for i, o := range outcomes {
-		res.Counts[o]++
-		res.Total++
-		if plans[i].Injected {
-			s := res.Sites[plans[i].Where]
-			if s == nil {
-				s = &SiteStats{Site: plans[i].Where}
-				res.Sites[plans[i].Where] = s
-			}
-			s.Total++
-			s.Counts[o]++
-		}
-	}
-	return res, nil
+	mr := cr.PerModel[0]
+	return &Result{
+		Name:         cr.Name,
+		Total:        mr.Total,
+		Counts:       mr.Counts,
+		Sites:        mr.Sites,
+		RefRegWrites: cr.RefRegWrites,
+		RefCycles:    cr.RefCycles,
+	}, nil
 }
 
 // randMask returns a random non-zero 64-bit corruption pattern. Half

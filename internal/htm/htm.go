@@ -181,6 +181,31 @@ type Stats struct {
 	MaxReadSet  int
 }
 
+// Merge folds another run's statistics into s — campaign engines use
+// it to aggregate transactional activity across many independent runs
+// (per fault model: how much recovery work the injections triggered).
+func (s *Stats) Merge(o Stats) {
+	s.Started += o.Started
+	s.Committed += o.Committed
+	s.FallbackRuns += o.FallbackRuns
+	s.TxCycles += o.TxCycles
+	s.WastedCycles += o.WastedCycles
+	if o.MaxWriteSet > s.MaxWriteSet {
+		s.MaxWriteSet = o.MaxWriteSet
+	}
+	if o.MaxReadSet > s.MaxReadSet {
+		s.MaxReadSet = o.MaxReadSet
+	}
+	if len(o.Aborted) > 0 {
+		if s.Aborted == nil {
+			s.Aborted = make(map[Cause]uint64, len(o.Aborted))
+		}
+		for c, n := range o.Aborted {
+			s.Aborted[c] += n
+		}
+	}
+}
+
 // AbortRate returns aborted/(aborted+committed) as a percentage.
 func (s *Stats) AbortRate() float64 {
 	var aborted uint64

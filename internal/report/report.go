@@ -85,6 +85,12 @@ func (t *Table) String() string {
 	return sb.String()
 }
 
+// FormatCI renders a point estimate with its confidence interval,
+// e.g. "12.3 [9.8,15.1]", using prec decimals throughout.
+func FormatCI(rate, lo, hi float64, prec int) string {
+	return fmt.Sprintf("%.*f [%.*f,%.*f]", prec, rate, prec, lo, prec, hi)
+}
+
 func pad(s string, w int) string {
 	if len(s) >= w {
 		return s

@@ -96,10 +96,16 @@ type Metrics struct {
 	runStatus   map[string]uint64
 	quarantines uint64
 	rebuilds    uint64
+	chaos       map[string]uint64
+	deadlines   uint64
 
-	injected  uint64
+	injected uint64
 	corrected uint64
-	corrupted uint64
+	// corrupted counts corrupted replies DELIVERED to clients; with
+	// verification on, the serving layer's invariant is that this
+	// stays zero (detections become verifyRejects and retries).
+	corrupted     uint64
+	verifyRejects uint64
 
 	txStarted   uint64
 	txCommitted uint64
@@ -118,6 +124,7 @@ func newMetrics(poolSize int, queueDepth func() int) *Metrics {
 		start:      time.Now(),
 		runStatus:  make(map[string]uint64),
 		aborts:     make(map[string]uint64),
+		chaos:      make(map[string]uint64),
 		poolSize:   poolSize,
 		queueDepth: queueDepth,
 	}
@@ -141,8 +148,24 @@ func (m *Metrics) quarantine() {
 	m.rebuilds++
 	m.mu.Unlock()
 }
-func (m *Metrics) corruptedReply() { m.mu.Lock(); m.corrupted++; m.mu.Unlock() }
-func (m *Metrics) injectedFault()  { m.mu.Lock(); m.injected++; m.mu.Unlock() }
+func (m *Metrics) injectedFault() { m.mu.Lock(); m.injected++; m.mu.Unlock() }
+
+// verifyReject counts replies the host-side verifier caught as
+// corrupted and routed back into the retry path (never delivered).
+func (m *Metrics) verifyReject(n int) { m.mu.Lock(); m.verifyRejects += uint64(n); m.mu.Unlock() }
+
+// chaosEvent accounts one chaos-layer failure ("kill", "hang",
+// "storm"); kills also count as instance rebuilds.
+func (m *Metrics) chaosEvent(kind string) {
+	m.mu.Lock()
+	m.chaos[kind]++
+	if kind == "kill" {
+		m.rebuilds++
+	}
+	m.mu.Unlock()
+}
+
+func (m *Metrics) deadlineExceeded() { m.mu.Lock(); m.deadlines++; m.mu.Unlock() }
 
 func (m *Metrics) response(latency time.Duration) {
 	m.mu.Lock()
@@ -189,9 +212,17 @@ type Snapshot struct {
 	FaultedRuns uint64            `json:"faulted_runs"`
 	RunStatus   map[string]uint64 `json:"run_status"`
 	Quarantines uint64            `json:"quarantines"`
+	Rebuilds    uint64            `json:"rebuilds"`
 
-	InjectedFaults   uint64 `json:"injected_faults"`
-	CorrectedFaults  uint64 `json:"corrected_faults"`
+	ChaosEvents      map[string]uint64 `json:"chaos_events"`
+	DeadlineFailures uint64            `json:"deadline_failures"`
+
+	InjectedFaults  uint64 `json:"injected_faults"`
+	CorrectedFaults uint64 `json:"corrected_faults"`
+	// VerifyRejects counts corrupted replies the verifier caught and
+	// converted into retries; CorruptedReplies counts corruptions
+	// actually delivered (zero while verification is on).
+	VerifyRejects    uint64 `json:"verify_rejects"`
 	CorruptedReplies uint64 `json:"corrupted_replies"`
 
 	TxStarted    uint64            `json:"tx_started"`
@@ -226,8 +257,12 @@ func (m *Metrics) Snapshot() Snapshot {
 		FaultedRuns:      m.faultedRuns,
 		RunStatus:        map[string]uint64{},
 		Quarantines:      m.quarantines,
+		Rebuilds:         m.rebuilds,
+		ChaosEvents:      map[string]uint64{},
+		DeadlineFailures: m.deadlines,
 		InjectedFaults:   m.injected,
 		CorrectedFaults:  m.corrected,
+		VerifyRejects:    m.verifyRejects,
 		CorruptedReplies: m.corrupted,
 		TxStarted:        m.txStarted,
 		TxCommitted:      m.txCommitted,
@@ -242,6 +277,9 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	for k, v := range m.runStatus {
 		s.RunStatus[k] = v
+	}
+	for k, v := range m.chaos {
+		s.ChaosEvents[k] = v
 	}
 	for k, v := range m.aborts {
 		s.AbortCauses[k] = v
@@ -284,8 +322,12 @@ func (s Snapshot) Summary() string {
 	t.Add("run status", mapLine(s.RunStatus))
 	t.AddF(0, "retries", s.Retries)
 	t.AddF(0, "quarantines", s.Quarantines)
+	t.AddF(0, "instance rebuilds", s.Rebuilds)
+	t.Add("chaos events", mapLine(s.ChaosEvents))
+	t.AddF(0, "deadline failures", s.DeadlineFailures)
 	t.AddF(0, "injected faults (SEU)", s.InjectedFaults)
 	t.AddF(0, "corrected faults (tx rollback)", s.CorrectedFaults)
+	t.AddF(0, "verification rejects (caught SDCs)", s.VerifyRejects)
 	t.AddF(0, "corrupted replies", s.CorruptedReplies)
 	t.AddF(0, "transactions started", s.TxStarted)
 	t.AddF(0, "transactions committed", s.TxCommitted)

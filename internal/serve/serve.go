@@ -70,11 +70,44 @@ type Config struct {
 	// per request (0 disables the campaign). Faults are injected by
 	// arming the §4.2 fault plan on sampled runs.
 	SEURate float64
+	// Chaos layers adversarial instance failures (kills, hangs, SEU
+	// storms) on top of the SEU campaign.
+	Chaos ChaosConfig
+	// Deadline, if positive, bounds end-to-end request latency: a
+	// request still unserved when it expires fails with ErrDeadline
+	// instead of retrying indefinitely (per-request watchdog).
+	Deadline time.Duration
 	// Verify checks every reply against the host-side reference
 	// function and counts mismatches as corrupted replies.
 	Verify bool
 	// Seed feeds the injection RNGs.
 	Seed int64
+}
+
+// ChaosConfig parameterizes the chaos layer: per-batch-run
+// probabilities of adversarial instance failures. All events are
+// drawn from a dedicated per-instance RNG, so enabling chaos does not
+// perturb the SEURate sampling sequence.
+type ChaosConfig struct {
+	// KillRate is the probability per batch run that the instance is
+	// killed outright: its machine is discarded and rebuilt, the whole
+	// batch re-enters the retry path on other instances.
+	KillRate float64
+	// HangRate is the probability per batch run that the instance
+	// wedges: its dynamic-instruction budget is cut so the run
+	// exhausts it and is classified as hung (OutcomeHang's serving
+	// analogue), exercising the hang-detection watchdog.
+	HangRate float64
+	// StormRate is the probability per batch run of an SEU storm:
+	// StormSize independent register upsets armed at once.
+	StormRate float64
+	// StormSize is the number of simultaneous upsets per storm
+	// (default 4).
+	StormSize int
+}
+
+func (c ChaosConfig) active() bool {
+	return c.KillRate > 0 || c.HangRate > 0 || c.StormRate > 0
 }
 
 // DefaultConfig returns the standard serving configuration: 8 warm
@@ -108,6 +141,9 @@ var ErrOverloaded = errors.New("serve: queue full")
 // ErrClosed is returned for requests submitted to a closed server.
 var ErrClosed = errors.New("serve: server closed")
 
+// ErrDeadline is returned for requests that exceeded Config.Deadline.
+var ErrDeadline = errors.New("serve: request deadline exceeded")
+
 // item is one queued request with its completion channel.
 type item struct {
 	word     uint64
@@ -129,7 +165,10 @@ type instance struct {
 	reqsAddr   uint64
 	nreqAddr   uint64
 	replyAddr  uint64
-	rng        *rand.Rand
+	rng *rand.Rand
+	// chaosRng drives the chaos layer independently of the SEU
+	// sampling sequence.
+	chaosRng   *rand.Rand
 	generation int
 	// consecutiveFaults drives the quarantine policy.
 	consecutiveFaults int
@@ -271,6 +310,7 @@ func (s *Server) newInstance(id int) *instance {
 		nreqAddr:  mach.Mod.Global(workloads.KVNReqGlobal).Addr,
 		replyAddr: mach.Mod.Global(workloads.KVRepliesGlobal).Addr,
 		rng:       rand.New(rand.NewSource(s.cfg.Seed + int64(id)*7919)),
+		chaosRng:  rand.New(rand.NewSource(s.cfg.Seed ^ 0x5eed + int64(id)*104729)),
 	}
 }
 
@@ -374,10 +414,50 @@ func (s *Server) runBatch(inst *instance, batch []*item) {
 	}
 	s.pokeBatch(inst, words)
 
+	// Chaos layer: adversarial instance failures drawn from a
+	// dedicated RNG so they do not perturb SEU sampling.
+	storm := false
+	if c := s.cfg.Chaos; c.active() {
+		r := inst.chaosRng.Float64()
+		switch {
+		case r < c.KillRate:
+			// Instance dies mid-traffic: no run, no replies; the batch
+			// re-enters the retry path and the machine is rebuilt from
+			// the hardened module.
+			s.metrics.chaosEvent("kill")
+			inst.rebuild(s)
+			s.failOrRetry(inst, batch, fmt.Errorf("instance killed"))
+			return
+		case r < c.KillRate+c.HangRate:
+			// Wedge the run: a tiny dynamic-instruction budget makes
+			// it exhaust and be classified as hung, which the normal
+			// watchdog path must absorb.
+			s.metrics.chaosEvent("hang")
+			inst.mach.Cfg.MaxDynInstrs = 64
+		case r < c.KillRate+c.HangRate+c.StormRate:
+			// SEU storm: several simultaneous upsets in one run.
+			n := c.StormSize
+			if n <= 0 {
+				n = 4
+			}
+			pop := int64(s.perReqWrites * uint64(len(batch)))
+			plans := make([]*vm.FaultPlan, n)
+			for i := range plans {
+				plans[i] = &vm.FaultPlan{
+					TargetIndex: uint64(inst.chaosRng.Int63n(pop)),
+					Mask:        randMask(inst.chaosRng),
+				}
+			}
+			inst.mach.SetFaultPlans(plans)
+			s.metrics.chaosEvent("storm")
+			storm = true
+		}
+	}
+
 	// SEU campaign: arm the §4.2 injector on a sampled fraction of
 	// runs, uniformly across the batch's expected dynamic register
-	// writes.
-	if p := s.cfg.SEURate * float64(len(batch)); p > 0 && inst.rng.Float64() < p {
+	// writes. A storm already armed this run's plans.
+	if p := s.cfg.SEURate * float64(len(batch)); !storm && p > 0 && inst.rng.Float64() < p {
 		pop := int64(s.perReqWrites * uint64(len(batch)))
 		inst.mach.SetFaultPlan(&vm.FaultPlan{
 			TargetIndex: uint64(inst.rng.Int63n(pop)),
@@ -388,6 +468,8 @@ func (s *Server) runBatch(inst *instance, batch []*item) {
 
 	status := inst.mach.Run(s.prog.SpecsFor(1)...)
 	s.metrics.run(status, inst.mach.Stats(), inst.mach.HTM.Stats)
+	// Undo a chaos hang's budget cut (rebuild also restores it).
+	inst.mach.Cfg.MaxDynInstrs = s.runBudget
 
 	if status != vm.StatusOK {
 		// Detected-but-uncorrected fault (ILR fail-stop, OS kill, or
@@ -399,41 +481,85 @@ func (s *Server) runBatch(inst *instance, batch []*item) {
 			s.metrics.quarantine()
 			inst.rebuild(s)
 		}
-		for _, it := range batch {
-			if it.retries >= s.cfg.MaxRetries {
-				s.metrics.failure()
-				it.done <- result{err: fmt.Errorf(
-					"serve: request failed after %d retries (last run: %v)",
-					it.retries, status)}
-				continue
-			}
-			it.retries++
-			it.exclude = inst.id
-			s.metrics.retry()
-			s.requeue(it, s.cfg.RetryBackoff<<uint(it.retries-1))
-		}
+		s.failOrRetry(inst, batch, fmt.Errorf("last run: %v", status))
 		return
 	}
-	inst.consecutiveFaults = 0
 
 	replies := make([]uint64, len(batch))
 	for i := range batch {
 		replies[i] = inst.mach.Peek(inst.replyAddr + uint64(i)*8)
 	}
+
+	// Host-side verification: an SDC that slipped past ILR (a storm
+	// can corrupt master and shadow flows alike) is caught here and
+	// NEVER delivered — the rejected request re-enters the retry path
+	// on another instance and this instance counts a fault toward
+	// quarantine. Clients therefore see correct replies or loud
+	// errors, nothing in between.
+	deliverItems, deliverVals := batch, replies
+	var rejected []*item
+	badSum := false
 	if s.cfg.Verify {
+		if out := inst.mach.Output(); len(out) != 1 || out[0] != workloads.KVReplyChecksum(replies) {
+			badSum = true
+		}
+		deliverItems, deliverVals = nil, nil
 		for i, it := range batch {
 			if replies[i] != workloads.KVReference(it.word, s.cfg.KV.ValueWork) {
-				s.metrics.corruptedReply()
+				rejected = append(rejected, it)
+				continue
 			}
-		}
-		if out := inst.mach.Output(); len(out) != 1 || out[0] != workloads.KVReplyChecksum(replies) {
-			s.metrics.corruptedReply()
+			deliverItems = append(deliverItems, it)
+			deliverVals = append(deliverVals, replies[i])
 		}
 	}
+	if len(rejected) > 0 || badSum {
+		n := len(rejected)
+		if n == 0 {
+			n = 1 // checksum-only mismatch: per-reply checks all passed
+		}
+		s.metrics.verifyReject(n)
+		inst.consecutiveFaults++
+		if inst.consecutiveFaults >= s.cfg.QuarantineAfter {
+			s.metrics.quarantine()
+			inst.rebuild(s)
+		}
+		s.failOrRetry(inst, rejected, fmt.Errorf("reply failed verification"))
+	} else {
+		inst.consecutiveFaults = 0
+	}
 	now := time.Now()
-	for i, it := range batch {
+	for i, it := range deliverItems {
 		s.metrics.response(now.Sub(it.enqueued))
-		it.done <- result{val: replies[i]}
+		it.done <- result{val: deliverVals[i]}
+	}
+}
+
+// failOrRetry applies the retry policy to a batch whose run produced
+// no trustworthy replies: each request is retried on a different
+// instance with exponential backoff, failed once its retry budget or
+// deadline is exhausted.
+func (s *Server) failOrRetry(inst *instance, batch []*item, cause error) {
+	for _, it := range batch {
+		if it.retries >= s.cfg.MaxRetries {
+			s.metrics.failure()
+			it.done <- result{err: fmt.Errorf(
+				"serve: request failed after %d retries (%v)", it.retries, cause)}
+			continue
+		}
+		backoff := s.cfg.RetryBackoff << uint(it.retries)
+		if s.cfg.Deadline > 0 && time.Since(it.enqueued)+backoff > s.cfg.Deadline {
+			// The per-request watchdog: do not keep retrying past the
+			// deadline; the submitter gets a definitive failure, never
+			// a stale or corrupted reply.
+			s.metrics.deadlineExceeded()
+			it.done <- result{err: ErrDeadline}
+			continue
+		}
+		it.retries++
+		it.exclude = inst.id
+		s.metrics.retry()
+		s.requeue(it, backoff)
 	}
 }
 
@@ -489,9 +615,21 @@ func (s *Server) submit(req Request, wait bool) (uint64, error) {
 			return 0, ErrOverloaded
 		}
 	}
+	var watchdog <-chan time.Time
+	if s.cfg.Deadline > 0 {
+		timer := time.NewTimer(s.cfg.Deadline)
+		defer timer.Stop()
+		watchdog = timer.C
+	}
 	select {
 	case r := <-it.done:
 		return r.val, r.err
+	case <-watchdog:
+		// The request may still be queued or retrying; the submitter
+		// gets a definitive deadline failure now (the late result, if
+		// any, lands in the buffered channel and is dropped).
+		s.metrics.deadlineExceeded()
+		return 0, ErrDeadline
 	case <-s.closed:
 		// Drain either the late result or report shutdown.
 		select {

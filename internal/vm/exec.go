@@ -178,8 +178,7 @@ func (m *Machine) step(c *core) {
 
 	ready := c.sched.Issue(lat, opsReady)
 	if wrote && in.Res != ir.NoValue {
-		fr.setReg(in.Res, res, ready)
-		m.injectMaybe(c, fr, in)
+		m.commitReg(c, fr, in, res, ready)
 	}
 	fr.instr++
 	m.afterInstr(c)
@@ -266,12 +265,11 @@ func (m *Machine) execPhiGroup(c *core, fr *frame, b *ir.Block) {
 		}
 	}
 	m.stats.DynInstrs-- // the caller already counted the first phi
-	for _, u := range ups {
-		fr.setReg(u.res, u.val, u.ready)
-	}
-	// Fault injection counts each phi as a register writer.
-	for i := start; i < end; i++ {
-		m.injectMaybe(c, fr, &b.Instrs[i])
+	// All operands were read above, so committing sequentially keeps
+	// the parallel phi semantics; each phi counts as a register writer
+	// for fault injection and tracing.
+	for i, u := range ups {
+		m.commitReg(c, fr, &b.Instrs[start+i], u.val, u.ready)
 	}
 	fr.instr = end
 	m.afterInstr(c)
@@ -300,8 +298,18 @@ func (m *Machine) execTerminator(c *core, fr *frame, in *ir.Instr) {
 	case ir.OpBr:
 		v, r := fr.operand(in.Args[0])
 		c.sched.Issue(cpu.Latency(ir.OpBr), r)
+		m.stats.CondBranches++
+		taken := v != 0
+		for _, p := range m.faults {
+			if p.Injected || p.Model != FaultBranch || p.TargetIndex != m.stats.CondBranches-1 {
+				continue
+			}
+			taken = !taken
+			p.Injected = true
+			p.Where = fmt.Sprintf("%s/%s br", fr.fn.Name, fr.fn.Blocks[fr.block].Name)
+		}
 		target := in.Blocks[1]
-		if v != 0 {
+		if taken {
 			target = in.Blocks[0]
 		}
 		fr.prevBlk = fr.block
@@ -412,11 +420,59 @@ func (m *Machine) pushFrame(c *core, callee *ir.Func, in *ir.Instr) {
 	c.frames = append(c.frames, nf)
 }
 
-// injectMaybe applies the armed fault plan if this register write is
-// the chosen one, and reports the write to the tracer.
-func (m *Machine) injectMaybe(c *core, fr *frame, in *ir.Instr) {
+// commitReg latches one instruction result: it accounts the register
+// write in the per-flow fault populations, applies armed register-file
+// fault plans (bit flips and skipped latches), and reports the write
+// to the tracer. Skip faults are applied before the write — the
+// destination keeps its stale value — so the tracer sees what the
+// register actually holds afterwards.
+func (m *Machine) commitReg(c *core, fr *frame, in *ir.Instr, res, ready uint64) {
 	m.stats.RegWrites++
-	if m.tracer != nil && in.Res != ir.NoValue {
+	isShadow := in.HasFlag(ir.FlagShadow)
+	if isShadow {
+		m.stats.ShadowRegWrites++
+	}
+	skipped := false
+	var flip uint64
+	for _, p := range m.faults {
+		if p.Injected {
+			continue
+		}
+		var idx uint64
+		switch {
+		case p.Model == FaultRegister || p.Model == FaultSkip:
+			switch p.Flow {
+			case FlowAny:
+				idx = m.stats.RegWrites - 1
+			case FlowShadow:
+				if !isShadow {
+					continue
+				}
+				idx = m.stats.ShadowRegWrites - 1
+			case FlowMaster:
+				if isShadow {
+					continue
+				}
+				idx = m.stats.RegWrites - m.stats.ShadowRegWrites - 1
+			}
+		default:
+			continue
+		}
+		if idx != p.TargetIndex {
+			continue
+		}
+		if p.Model == FaultSkip {
+			skipped = true
+		} else {
+			flip ^= p.Mask
+		}
+		p.Injected = true
+		p.Where = fmt.Sprintf("%s/%s %s", fr.fn.Name, fr.fn.Blocks[fr.block].Name, in.Op)
+	}
+	if !skipped {
+		fr.setReg(in.Res, res^flip, ready)
+	}
+	if m.tracer != nil {
 		m.tracer(TraceEvent{
 			Index: m.stats.RegWrites - 1,
 			Core:  c.id,
@@ -428,19 +484,6 @@ func (m *Machine) injectMaybe(c *core, fr *frame, in *ir.Instr) {
 			Cycle: c.sched.Now(),
 		})
 	}
-	p := m.fault
-	if p == nil || p.Injected {
-		return
-	}
-	if m.stats.RegWrites-1 != p.TargetIndex {
-		return
-	}
-	if in.Res == ir.NoValue {
-		return
-	}
-	fr.regs[in.Res] ^= p.Mask
-	p.Injected = true
-	p.Where = fmt.Sprintf("%s/%s %v", fr.fn.Name, fr.fn.Blocks[fr.block].Name, in.Op)
 }
 
 // afterInstr performs per-instruction housekeeping: HTM duration

@@ -96,22 +96,99 @@ func DefaultConfig() Config {
 	}
 }
 
-// FaultPlan requests injection of a single event upset: when the
-// TargetIndex-th dynamic register-writing instruction (counted
-// globally across cores) completes, its result register is XORed with
-// Mask. Mirrors the paper's SDE/GDB injector (§4.2).
+// FaultModel selects which architectural state a FaultPlan corrupts.
+// The paper's injector (§4.2) implements only FaultRegister; the other
+// models extend the campaign to the SEU/SET classes that ZOFI and
+// Azambuja et al. argue a register-only campaign leaves untested:
+// memory cells, control flow, address lines, and missing updates.
+type FaultModel uint8
+
+const (
+	// FaultRegister XORs Mask into the output register of the
+	// TargetIndex-th dynamic register-writing instruction (the
+	// original §4.2 model).
+	FaultRegister FaultModel = iota
+	// FaultMemory flips Mask bits in the memory word touched by the
+	// TargetIndex-th dynamic memory access — a live address by
+	// construction. Loads are corrupted before the read (the value
+	// observed is wrong and the cell stays wrong); stores after the
+	// write (the cell holding the just-stored value is wrong).
+	FaultMemory
+	// FaultBranch inverts the direction of the TargetIndex-th dynamic
+	// conditional branch (an SET on the condition flag).
+	FaultBranch
+	// FaultAddress XORs Mask into the effective address of the
+	// TargetIndex-th dynamic memory access for that access only (an
+	// SET on the address lines): the access reads or writes the wrong
+	// location, or traps on a wild/misaligned address.
+	FaultAddress
+	// FaultSkip suppresses the result latch of the TargetIndex-th
+	// dynamic register-writing instruction: the destination register
+	// keeps its stale value, as if the instruction had been skipped.
+	FaultSkip
+)
+
+// String returns the model's campaign name.
+func (fm FaultModel) String() string {
+	switch fm {
+	case FaultRegister:
+		return "reg"
+	case FaultMemory:
+		return "mem"
+	case FaultBranch:
+		return "branch"
+	case FaultAddress:
+		return "addr"
+	case FaultSkip:
+		return "skip"
+	}
+	return "model?"
+}
+
+// FaultFlow restricts register-indexed fault models (FaultRegister,
+// FaultSkip) to one side of the ILR replication, so the symmetry of
+// master and shadow flow can itself be validated: a flip in either
+// copy must be detected alike.
+type FaultFlow uint8
+
+const (
+	// FlowAny counts every register-writing instruction (default).
+	FlowAny FaultFlow = iota
+	// FlowMaster counts only original (non-shadow) instructions.
+	FlowMaster
+	// FlowShadow counts only ILR-inserted shadow instructions.
+	FlowShadow
+)
+
+// String returns the flow name.
+func (f FaultFlow) String() string {
+	switch f {
+	case FlowMaster:
+		return "master"
+	case FlowShadow:
+		return "shadow"
+	}
+	return "any"
+}
+
+// FaultPlan requests injection of a single fault: when the
+// TargetIndex-th dynamic event of the model's population (counted
+// globally across cores) occurs, the fault is applied. The populations
+// are reported by a reference run in RunStats: RegWrites (register and
+// skip models, filtered by Flow), MemAccesses (memory and address
+// models), CondBranches (branch model). Several plans may be armed at
+// once (SetFaultPlans) to model multi-bit upsets and fault storms.
 type FaultPlan struct {
+	Model       FaultModel
 	TargetIndex uint64
 	Mask        uint64
-	// TargetShadow redirects the injection to the shadow copy if the
-	// chosen instruction has one (diagnostic use only; the default
-	// uniform choice already covers shadow instructions since they are
-	// ordinary register writers).
-	_ struct{}
+	// Flow restricts FaultRegister/FaultSkip to the master or shadow
+	// data flow; ignored by the other models.
+	Flow FaultFlow
 
 	// Results, filled in by the machine:
 	Injected bool
-	Where    string // "func/block[i] op"
+	Where    string // "func/block op"
 }
 
 // RunStats aggregates measurements of one run.
@@ -123,8 +200,19 @@ type RunStats struct {
 	// DynInstrs counts executed instructions.
 	DynInstrs uint64
 	// RegWrites counts instructions that wrote a register (the fault
-	// injection population).
+	// injection population of the register and skip models).
 	RegWrites uint64
+	// ShadowRegWrites counts register writes by ILR shadow
+	// instructions; RegWrites-ShadowRegWrites is the master-flow
+	// population.
+	ShadowRegWrites uint64
+	// MemAccesses counts dynamic memory accesses (loads and stores,
+	// atomics included; an ARMW counts its read and its write) — the
+	// population of the memory and address fault models.
+	MemAccesses uint64
+	// CondBranches counts dynamic conditional branches — the
+	// population of the branch-inversion fault model.
+	CondBranches uint64
 	// ExplicitAborts counts ILR-triggered transaction aborts
 	// (the recovery events).
 	ExplicitAborts uint64
@@ -267,7 +355,7 @@ type Machine struct {
 
 	status      Status
 	stats       RunStats
-	fault       *FaultPlan
+	faults      []*FaultPlan
 	tracer      func(TraceEvent)
 	breakpoints []*Breakpoint
 
@@ -316,7 +404,17 @@ func New(m *ir.Module, nthreads int, cfg Config) *Machine {
 }
 
 // SetFaultPlan arms a single-fault injection (may be nil to disarm).
-func (m *Machine) SetFaultPlan(p *FaultPlan) { m.fault = p }
+func (m *Machine) SetFaultPlan(p *FaultPlan) {
+	if p == nil {
+		m.faults = nil
+		return
+	}
+	m.faults = []*FaultPlan{p}
+}
+
+// SetFaultPlans arms several fault plans at once — double SEUs and
+// chaos fault storms. Nil or empty disarms.
+func (m *Machine) SetFaultPlans(ps []*FaultPlan) { m.faults = ps }
 
 // Reset returns the machine to its post-New state so it can run again
 // without re-cloning the module or reallocating memory: globals are
@@ -340,7 +438,7 @@ func (m *Machine) Reset() {
 	m.nthreads = 0
 	m.status = StatusOK
 	m.stats = RunStats{}
-	m.fault = nil
+	m.faults = nil
 	for _, c := range m.cores {
 		c.sched = cpu.NewSched(m.Cfg.IssueWidth)
 		c.frames = c.frames[:0]
@@ -483,8 +581,65 @@ func (m *Machine) crash(reason string) {
 	}
 }
 
+// memFaultPre accounts one dynamic memory access and applies armed
+// address-line and memory-cell fault plans. It returns the effective
+// address (corrupted by an address fault for this access only) and,
+// for stores, the memory-cell plan to apply after the write lands.
+// Loads flip the cell before the read: the value observed is already
+// corrupted and the cell stays corrupted — a memory SEU at a live
+// address.
+func (m *Machine) memFaultPre(c *core, addr uint64, load bool) (uint64, *FaultPlan) {
+	m.stats.MemAccesses++
+	if len(m.faults) == 0 {
+		return addr, nil
+	}
+	idx := m.stats.MemAccesses - 1
+	var post *FaultPlan
+	for _, p := range m.faults {
+		if p.Injected || p.TargetIndex != idx {
+			continue
+		}
+		switch p.Model {
+		case FaultAddress:
+			addr ^= p.Mask
+			m.markInjected(c, p)
+		case FaultMemory:
+			if load {
+				m.flipWord(c, addr, p)
+			} else {
+				post = p // flip after the store lands
+			}
+		}
+	}
+	return addr, post
+}
+
+// flipWord XORs a fault mask into the memory word at addr (no-op on
+// addresses outside memory: the access itself will trap).
+func (m *Machine) flipWord(c *core, addr uint64, p *FaultPlan) {
+	if addr%8 == 0 && addr >= 8 && addr+8 <= m.memBytes {
+		m.mem[addr/8] ^= p.Mask
+	}
+	m.markInjected(c, p)
+}
+
+// markInjected records that a plan fired and where.
+func (m *Machine) markInjected(c *core, p *FaultPlan) {
+	p.Injected = true
+	if len(c.frames) > 0 {
+		fr := &c.frames[len(c.frames)-1]
+		b := fr.fn.Blocks[fr.block]
+		op := "?"
+		if fr.instr < len(b.Instrs) {
+			op = b.Instrs[fr.instr].Op.String()
+		}
+		p.Where = fmt.Sprintf("%s/%s %s", fr.fn.Name, b.Name, op)
+	}
+}
+
 // memRead reads the word at a byte address through the HTM layer.
 func (m *Machine) memRead(c *core, addr uint64) (uint64, bool) {
+	addr, _ = m.memFaultPre(c, addr, true)
 	if addr%8 != 0 || addr < 8 || addr+8 > m.memBytes {
 		m.crash(fmt.Sprintf("invalid load at %#x", addr))
 		return 0, false
@@ -497,12 +652,16 @@ func (m *Machine) memRead(c *core, addr uint64) (uint64, bool) {
 
 // memWrite writes the word at a byte address through the HTM layer.
 func (m *Machine) memWrite(c *core, addr, val uint64) bool {
+	addr, post := m.memFaultPre(c, addr, false)
 	if addr%8 != 0 || addr < 8 || addr+8 > m.memBytes {
 		m.crash(fmt.Sprintf("invalid store at %#x", addr))
 		return false
 	}
 	if buffered := m.HTM.Write(c.id, addr, val, c.sched.Now()); !buffered {
 		m.mem[addr/8] = val
+	}
+	if post != nil {
+		m.flipWord(c, addr, post)
 	}
 	return true
 }
