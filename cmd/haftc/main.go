@@ -28,6 +28,11 @@ func main() {
 	run := flag.Bool("run", false, "execute the program after hardening")
 	threads := flag.Int("threads", 1, "threads for -run")
 	optimize := flag.Bool("O", false, "run scalar optimizations before the hardening passes (the paper's -O3 step)")
+	relax := flag.Bool("relax", false, "TX-aware check relaxation: defer in-transaction checks to commit (abort-on-divergence)")
+	copyprop := flag.Bool("copyprop", false, "shadow-flow copy propagation")
+	rce := flag.Bool("rce", false, "redundant-check elimination")
+	coalesce := flag.Bool("coalesce", false, "check sinking and coalescing")
+	reduce := flag.Bool("reduce", false, "enable every overhead-reduction pass (-relax -copyprop -rce -coalesce)")
 	stats := flag.Bool("stats", false, "print static instrumentation statistics (LLVM -stats style)")
 	trace := flag.Int("trace", 0, "with -run: print the first N register-writing trace events (SDE debugtrace style)")
 	flag.Parse()
@@ -80,7 +85,11 @@ func main() {
 		fatal(fmt.Errorf("unknown opt level %q", *opt))
 	}
 	cfg.Optimize = *optimize
-	hard, err := haft.Harden(prog, cfg)
+	cfg.RelaxTX = *relax || *reduce
+	cfg.CopyProp = *copyprop || *reduce
+	cfg.ReduceChecks = *rce || *reduce
+	cfg.CoalesceChecks = *coalesce || *reduce
+	hard, hs, err := haft.HardenWithStats(prog, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -92,6 +101,17 @@ func main() {
 		}
 		fmt.Printf(";  static expansion vs input: %.2fx\n",
 			haft.Expansion(prog, hard))
+		if hs.Relax.Total()+hs.Relax.KeptEager+hs.Reduce.Total()+hs.Cleanup.Total() > 0 {
+			fmt.Println("; reduction-pass statistics:")
+			fmt.Printf(";   relax: %d checks deferred, %d store loads folded, %d counters folded, %d kept eager\n",
+				hs.Relax.Relaxed, hs.Relax.LoadsFolded, hs.Relax.CountersFolded, hs.Relax.KeptEager)
+			fmt.Printf(";   reduce: %d copies propagated, %d checks removed, %d pairs removed, %d sunk, %d coalesced, %d calls merged\n",
+				hs.Reduce.CopiesPropagated, hs.Reduce.ChecksRemoved, hs.Reduce.PairsRemoved,
+				hs.Reduce.ChecksSunk, hs.Reduce.ChecksCoalesced, hs.Reduce.CallsCoalesced)
+			fmt.Printf(";   cleanup: %d folded, %d dead removed, %d blocks gone, %d branches cut, %d threaded, %d merged\n",
+				hs.Cleanup.Folded, hs.Cleanup.DeadRemoved, hs.Cleanup.BlocksGone,
+				hs.Cleanup.BranchesCut, hs.Cleanup.Threaded, hs.Cleanup.Merged)
+		}
 	}
 	if *run {
 		var res haft.Result

@@ -125,6 +125,13 @@ var experimentRunners = map[string]func(exp.Options) (string, error){
 		}
 		return snap.Summary(), nil
 	},
+	"overhead": func(o exp.Options) (string, error) {
+		_, t, err := exp.Overhead(o)
+		if err != nil {
+			return "", err
+		}
+		return t.String(), nil
+	},
 }
 
 // experimentData maps experiment ids to runners with a structured,
@@ -151,6 +158,13 @@ var experimentData = map[string]func(exp.Options) (any, string, error){
 			return nil, "", err
 		}
 		return snap, snap.Summary(), nil
+	},
+	"overhead": func(o exp.Options) (any, string, error) {
+		res, t, err := exp.Overhead(o)
+		if err != nil {
+			return nil, "", err
+		}
+		return res, t.String(), nil
 	},
 }
 

@@ -151,19 +151,35 @@ func (p *Program) Source() string { return p.prog.Module.String() }
 // Harden applies the configured passes and returns the hardened
 // program; the input is unchanged.
 func Harden(p *Program, cfg Config) (*Program, error) {
+	out, _, err := HardenWithStats(p, cfg)
+	return out, err
+}
+
+// HardenStats reports what the overhead-reduction passes did during
+// hardening (all zero unless the Config enables them).
+type HardenStats = core.HardenStats
+
+// ReducedConfig returns DefaultConfig with every overhead-reduction
+// pass (TX-aware relaxation, copy propagation, redundant-check
+// elimination, check coalescing) enabled.
+func ReducedConfig() Config { return core.ReducedConfig() }
+
+// HardenWithStats is Harden plus a report of the overhead-reduction
+// pass activity.
+func HardenWithStats(p *Program, cfg Config) (*Program, HardenStats, error) {
 	if cfg.TxThreshold == 0 {
 		cfg.TxThreshold = p.prog.TxThreshold
 	}
 	if cfg.Blacklist == nil {
 		cfg.Blacklist = p.prog.Blacklist
 	}
-	mod, err := core.Harden(p.prog.Module, cfg)
+	mod, hs, err := core.HardenWithStats(p.prog.Module, cfg)
 	if err != nil {
-		return nil, err
+		return nil, hs, err
 	}
 	np := *p.prog
 	np.Module = mod
-	return &Program{Name: p.Name + "+" + cfg.Mode.String(), prog: &np}, nil
+	return &Program{Name: p.Name + "+" + cfg.Mode.String(), prog: &np}, hs, nil
 }
 
 // Result summarizes one execution on the simulated machine.

@@ -1,0 +1,457 @@
+package core_test
+
+// Adversarial "shadow-deletion" probes for the check-reduction suite:
+// for every reduction pass, an intentionally unsound variant of the
+// rewrite is applied to a hardened module and a stratified
+// fault-injection sweep shows that the broken build leaks silent data
+// corruption where the shipped pass keeps every fault detected. The
+// same sweep doubles as a soundness regression for the real pipeline:
+// the optimized build must show zero SDC and zero externalized
+// corruption on these fixtures.
+//
+// The unsound variants encode real design rejections:
+//
+//   - branch relaxation: replacing the Figure 4b dual shadow branch
+//     with a deferred tx.check(master, shadow) looks equivalent but is
+//     not — a branch-direction fault leaves both registers clean, so
+//     the compare passes while control flow went the wrong way;
+//   - copy propagation that treats the volatile shadow load-back as
+//     a redundant copy of the master load (classic load-CSE) collapses
+//     the shadow flow into the master registers, turning every
+//     downstream check into a comparison of a register with itself;
+//   - may-analysis redundant-check elimination drops a join check
+//     that is only covered on one incoming path;
+//   - sinking a deferred check past its externalization point lets a
+//     corrupted value escape through out before detection fires.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/vm"
+)
+
+func quietCfg() vm.Config {
+	cfg := vm.DefaultConfig()
+	cfg.HTM.SpontaneousPerAccessMicro = 0
+	cfg.HTM.InterruptPeriod = 0
+	cfg.MaxDynInstrs = 5_000_000
+	return cfg
+}
+
+// sweep injects one fault per dynamic site of the model's population
+// and reports how many runs ended in silent data corruption and how
+// many externalized a wrong word (output not a prefix of the
+// reference) regardless of the final status.
+func sweep(t *testing.T, m *ir.Module, model vm.FaultModel, flow vm.FaultFlow, mask uint64) (sdc, leaked int) {
+	t.Helper()
+	ref := vm.New(m.Clone(), 1, quietCfg())
+	ref.Run(vm.ThreadSpec{Func: "main"})
+	if ref.Status() != vm.StatusOK {
+		t.Fatalf("reference run failed: %v (%s)", ref.Status(), ref.Stats().CrashReason)
+	}
+	refOut := ref.Output()
+	st := ref.Stats()
+	var pop uint64
+	switch model {
+	case vm.FaultBranch:
+		pop = st.CondBranches
+	case vm.FaultRegister:
+		pop = st.RegWrites
+		if flow == vm.FlowMaster {
+			pop = st.RegWrites - st.ShadowRegWrites
+		}
+	default:
+		t.Fatalf("unsupported sweep model %v", model)
+	}
+	if pop == 0 {
+		t.Fatalf("fault population is empty — fixture exercises nothing")
+	}
+	if pop > 600 {
+		pop = 600
+	}
+	for idx := uint64(0); idx < pop; idx++ {
+		mach := vm.New(m.Clone(), 1, quietCfg())
+		mach.SetFaultPlans([]*vm.FaultPlan{{
+			Model: model, TargetIndex: idx, Mask: mask, Flow: flow,
+		}})
+		mach.Run(vm.ThreadSpec{Func: "main"})
+		if fault.Classify(mach, refOut) == fault.OutcomeSDC {
+			sdc++
+		}
+		got := mach.Output()
+		if len(got) > len(refOut) {
+			leaked++
+			continue
+		}
+		for i := range got {
+			if got[i] != refOut[i] {
+				leaked++
+				break
+			}
+		}
+	}
+	return sdc, leaked
+}
+
+func hardenSource(t *testing.T, src string, cfg core.Config) *ir.Module {
+	t.Helper()
+	m, err := lang.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	cfg.TxThreshold = 300
+	hm, _, err := core.HardenWithStats(m, cfg)
+	if err != nil {
+		t.Fatalf("harden: %v", err)
+	}
+	return hm
+}
+
+func reducedMode(mode core.Mode) core.Config {
+	cfg := core.ReducedConfig()
+	cfg.Mode = mode
+	return cfg
+}
+
+// detectBlock finds the function's ilr.detect block.
+func detectBlock(f *ir.Func) int {
+	for bi, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == ir.OpCall && in.Callee == "ilr.fail" {
+				return bi
+			}
+		}
+	}
+	return -1
+}
+
+// unsoundBranchRelax replaces every Figure 4b shadow branch with a
+// deferred tx.check of the master and shadow conditions — the
+// relaxation the suite deliberately rejects.
+func unsoundBranchRelax(m *ir.Module) int {
+	rewrites := 0
+	for _, f := range m.Funcs {
+		det := detectBlock(f)
+		if det < 0 {
+			continue
+		}
+		for bi, b := range f.Blocks {
+			n := len(b.Instrs)
+			if n == 0 {
+				continue
+			}
+			br := &b.Instrs[n-1]
+			if br.Op != ir.OpBr || !br.HasFlag(ir.FlagShadow) || br.Args[0].IsConst {
+				continue
+			}
+			var cont int
+			switch {
+			case br.Blocks[0] == det:
+				cont = br.Blocks[1]
+			case br.Blocks[1] == det:
+				cont = br.Blocks[0]
+			default:
+				continue
+			}
+			// The master condition is the branch condition of the
+			// predecessor that routed control here.
+			var master ir.Operand
+			found := false
+			for _, p := range f.Blocks {
+				pt := p.Terminator()
+				if pt == nil || pt.Op != ir.OpBr || pt.HasFlag(ir.FlagShadow) {
+					continue
+				}
+				for _, s := range pt.Blocks {
+					if s == bi && !pt.Args[0].IsConst {
+						master, found = pt.Args[0], true
+					}
+				}
+			}
+			if !found {
+				continue
+			}
+			b.Instrs[n-1] = ir.Instr{
+				Op: ir.OpCall, Res: ir.NoValue, Callee: "tx.check",
+				Args:  []ir.Operand{master, br.Args[0]},
+				Flags: ir.FlagCheck | ir.FlagTXHelper,
+			}
+			b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpJmp, Res: ir.NoValue, Blocks: []int{cont}})
+			rewrites++
+		}
+	}
+	return rewrites
+}
+
+// unsoundShadowLoadProp treats each volatile shadow load-back as a
+// redundant copy of the master load it mirrors and propagates the
+// master value into its uses — the load-CSE that FlagShadow+volatile
+// exists to forbid. The shadow arithmetic chain then recomputes from
+// the master register, so a fault in the master load is invisible to
+// every downstream check.
+func unsoundShadowLoadProp(m *ir.Module) int {
+	rewrites := 0
+	for _, f := range m.Funcs {
+		source := map[ir.ValueID]ir.ValueID{}
+		for _, b := range f.Blocks {
+			lastMaster := ir.NoValue
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Op != ir.OpLoad {
+					continue
+				}
+				if in.HasFlag(ir.FlagShadow) {
+					if lastMaster != ir.NoValue {
+						source[in.Res] = lastMaster
+					}
+				} else {
+					lastMaster = in.Res
+				}
+			}
+		}
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				for k, a := range in.Args {
+					if a.IsConst {
+						continue
+					}
+					if s, ok := source[a.Reg]; ok {
+						in.Args[k] = ir.Reg(s)
+						rewrites++
+					}
+				}
+			}
+		}
+	}
+	return rewrites
+}
+
+// unsoundMayRCE removes an eager check when the same pair is checked
+// in any earlier block (layout order) — a may-analysis that ignores
+// whether every path to the check actually covers the pair.
+func unsoundMayRCE(m *ir.Module) int {
+	rewrites := 0
+	for _, f := range m.Funcs {
+		seen := map[[2]ir.ValueID]bool{}
+		for _, b := range f.Blocks {
+			n := len(b.Instrs)
+			if n < 2 {
+				continue
+			}
+			br := &b.Instrs[n-1]
+			cmp := &b.Instrs[n-2]
+			if br.Op != ir.OpBr || !br.HasFlag(ir.FlagDetect) || br.Args[0].IsConst ||
+				cmp.Op != ir.OpCmp || !cmp.HasFlag(ir.FlagCheck) || cmp.Pred != ir.PredNE ||
+				cmp.Args[0].IsConst || cmp.Args[1].IsConst || cmp.Res != br.Args[0].Reg {
+				continue
+			}
+			key := [2]ir.ValueID{cmp.Args[0].Reg, cmp.Args[1].Reg}
+			if seen[key] {
+				cont := br.Blocks[1]
+				b.Instrs = append(b.Instrs[:n-2],
+					ir.Instr{Op: ir.OpJmp, Res: ir.NoValue, Blocks: []int{cont}})
+				rewrites++
+				continue
+			}
+			seen[key] = true
+		}
+	}
+	return rewrites
+}
+
+// unsoundSinkPastOut moves a deferred check that precedes an out
+// instruction (separated only by transaction bookkeeping like tx.end)
+// to just after it — past the externalization barrier the shipped
+// sinking pass refuses to cross.
+func unsoundSinkPastOut(m *ir.Module) int {
+	rewrites := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for i := 0; i < len(b.Instrs); i++ {
+				in := &b.Instrs[i]
+				if in.Op != ir.OpCall || in.Callee != "tx.check" {
+					continue
+				}
+				j := i + 1
+				for j < len(b.Instrs) && b.Instrs[j].Op == ir.OpCall &&
+					b.Instrs[j].HasFlag(ir.FlagTXHelper) {
+					j++
+				}
+				if j >= len(b.Instrs) || b.Instrs[j].Op != ir.OpOut {
+					continue
+				}
+				check := b.Instrs[i]
+				copy(b.Instrs[i:j], b.Instrs[i+1:j+1])
+				b.Instrs[j] = check
+				rewrites++
+				i = j
+			}
+		}
+	}
+	return rewrites
+}
+
+const branchFixture = `
+global arr[4];
+func main() {
+  var x = 5;
+  var i = 0;
+  while (i < 9) {
+    x = x + arr[i & 3] + 3;
+    i = i + 1;
+  }
+  if (x > 20) {
+    x = x - 7;
+  } else {
+    x = x + 11;
+  }
+  out(x);
+}
+`
+
+func TestAdversarialBranchRelaxation(t *testing.T) {
+	sound := hardenSource(t, branchFixture, reducedMode(core.ModeILR))
+	sdc, _ := sweep(t, sound, vm.FaultBranch, vm.FlowAny, 0)
+	if sdc != 0 {
+		t.Fatalf("shipped pipeline: %d branch faults escaped as SDC", sdc)
+	}
+
+	broken := sound.Clone()
+	if n := unsoundBranchRelax(broken); n == 0 {
+		t.Fatalf("unsound rewrite found no shadow branches — fixture is stale")
+	}
+	if err := ir.Verify(broken); err != nil {
+		t.Fatalf("unsound variant must still be structurally valid: %v", err)
+	}
+	sdc, _ = sweep(t, broken, vm.FaultBranch, vm.FlowAny, 0)
+	if sdc == 0 {
+		t.Fatalf("probe has no teeth: dual-shadow-branch deletion produced no SDC")
+	}
+	t.Logf("unsound branch relaxation: %d SDCs the shipped pass prevents", sdc)
+}
+
+const loadPropFixture = `
+func mix(v) local {
+  return v * 131 + 7;
+}
+func main() {
+  var a = mix(5);
+  var b = mix(a ^ 3);
+  out(a + b);
+}
+`
+
+func TestAdversarialShadowLoadCopyProp(t *testing.T) {
+	sound := hardenSource(t, loadPropFixture, reducedMode(core.ModeILR))
+	sdc, _ := sweep(t, sound, vm.FaultRegister, vm.FlowMaster, 1<<4)
+	if sdc != 0 {
+		t.Fatalf("shipped pipeline: %d register faults escaped as SDC", sdc)
+	}
+
+	broken := sound.Clone()
+	if n := unsoundShadowLoadProp(broken); n == 0 {
+		t.Fatalf("unsound rewrite found no shadow load-backs — fixture is stale")
+	}
+	if err := ir.Verify(broken); err != nil {
+		t.Fatalf("unsound variant must still be structurally valid: %v", err)
+	}
+	sdc, _ = sweep(t, broken, vm.FaultRegister, vm.FlowMaster, 1<<4)
+	if sdc == 0 {
+		t.Fatalf("probe has no teeth: collapsing the shadow flow produced no SDC")
+	}
+	t.Logf("unsound shadow-load propagation: %d SDCs the shipped pass prevents", sdc)
+}
+
+// The RCE fixture is written in IR directly so the checked value stays
+// in a register across the diamond (the front end would spill it to
+// the frame and give each out its own load pair). The seed value is
+// loaded from a zero-initialized global so the cleanup pass cannot
+// constant-fold the program away, and at runtime the branch takes the
+// unchecked path: 0+9 = 9 is not > 100.
+const rceFixture = `
+global g bytes=8
+func main(0) {
+entry:
+  v0 = load #4096
+  v1 = add v0, #9
+  v2 = cmp gt v1, #100
+  br v2, then, join
+then:
+  out v1
+  jmp join
+join:
+  out v1
+  ret
+}
+`
+
+func hardenIR(t *testing.T, src string, cfg core.Config) *ir.Module {
+	t.Helper()
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	cfg.TxThreshold = 300
+	hm, _, err := core.HardenWithStats(m, cfg)
+	if err != nil {
+		t.Fatalf("harden: %v", err)
+	}
+	return hm
+}
+
+func TestAdversarialMayRCE(t *testing.T) {
+	sound := hardenIR(t, rceFixture, reducedMode(core.ModeILR))
+	sdc, _ := sweep(t, sound, vm.FaultRegister, vm.FlowMaster, 1<<4)
+	if sdc != 0 {
+		t.Fatalf("shipped pipeline: %d register faults escaped as SDC", sdc)
+	}
+
+	broken := sound.Clone()
+	if n := unsoundMayRCE(broken); n == 0 {
+		t.Fatalf("unsound rewrite removed no checks — fixture is stale")
+	}
+	if err := ir.Verify(broken); err != nil {
+		t.Fatalf("unsound variant must still be structurally valid: %v", err)
+	}
+	sdc, _ = sweep(t, broken, vm.FaultRegister, vm.FlowMaster, 1<<4)
+	if sdc == 0 {
+		t.Fatalf("probe has no teeth: may-analysis RCE produced no SDC")
+	}
+	t.Logf("unsound may-RCE: %d SDCs the shipped pass prevents", sdc)
+}
+
+const sinkFixture = `
+func main() {
+  var a = 5;
+  a = a * 7 + 3;
+  out(a);
+  out(a * 3);
+}
+`
+
+func TestAdversarialSinkPastExternalization(t *testing.T) {
+	sound := hardenSource(t, sinkFixture, reducedMode(core.ModeHAFT))
+	_, leaked := sweep(t, sound, vm.FaultRegister, vm.FlowMaster, 1<<4)
+	if leaked != 0 {
+		t.Fatalf("shipped pipeline externalized %d corrupted outputs", leaked)
+	}
+
+	broken := sound.Clone()
+	if n := unsoundSinkPastOut(broken); n == 0 {
+		t.Fatalf("unsound rewrite moved no checks — fixture is stale")
+	}
+	if err := ir.Verify(broken); err != nil {
+		t.Fatalf("unsound variant must still be structurally valid: %v", err)
+	}
+	_, leaked = sweep(t, broken, vm.FaultRegister, vm.FlowMaster, 1<<4)
+	if leaked == 0 {
+		t.Fatalf("probe has no teeth: sinking past out leaked nothing")
+	}
+	t.Logf("unsound sink past out: %d corrupted words externalized before detection", leaked)
+}

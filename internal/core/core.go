@@ -107,11 +107,45 @@ type Config struct {
 	// before the hardening passes, mirroring the paper's build flow
 	// where LLVM -O3 runs on the bitcode first (§4.1).
 	Optimize bool
+
+	// The check-reduction suite (§3.3, "the passes eliminate redundant
+	// checks"). Each pass is independently toggleable; all default to
+	// off so that the naive pipeline remains the measurable baseline.
+	//
+	// CopyProp forwards shadow/master copies so both flows share one
+	// replica computation per copied value.
+	CopyProp bool
+	// ReduceChecks eliminates checks whose master/shadow pair is
+	// already checked on every path since its last definition.
+	ReduceChecks bool
+	// CoalesceChecks merges adjacent per-operand checks into one
+	// combined compare (eager) or one variadic tx.check (relaxed).
+	CoalesceChecks bool
+	// RelaxTX rewrites checks strictly inside transactions to the
+	// abort-on-divergence-at-commit scheme, keeping eager checks only
+	// at true externalization points. Effective in ModeHAFT only.
+	RelaxTX bool
+}
+
+// anyReduction reports whether any overhead-reduction pass is enabled.
+func (c Config) anyReduction() bool {
+	return c.CopyProp || c.ReduceChecks || c.CoalesceChecks || c.RelaxTX
 }
 
 // DefaultConfig returns full HAFT with all optimizations.
 func DefaultConfig() Config {
 	return Config{Mode: ModeHAFT, Opt: OptFaultProp, TxThreshold: 1000}
+}
+
+// ReducedConfig returns full HAFT with the whole overhead-reduction
+// suite enabled on top of the §3.3 optimization ladder.
+func ReducedConfig() Config {
+	c := DefaultConfig()
+	c.CopyProp = true
+	c.ReduceChecks = true
+	c.CoalesceChecks = true
+	c.RelaxTX = true
+	return c
 }
 
 // ilrOptions maps an OptLevel onto the ILR pass switches.
@@ -135,15 +169,50 @@ func txOptions(c Config) tx.Options {
 	}
 }
 
+// HardenStats reports what each stage of the hardening pipeline did.
+// Zero-valued fields mean the corresponding stage did not run.
+type HardenStats struct {
+	// Relax reports the TX-aware check relaxation (ModeHAFT + RelaxTX).
+	Relax tx.RelaxStats
+	// Reduce reports the ILR check-reduction passes.
+	Reduce ilr.ReduceStats
+	// Cleanup reports the post-reduction scalar cleanup (jump
+	// threading, block merging, dead-code elimination) that turns the
+	// reductions into actual dynamic-instruction savings.
+	Cleanup opt.Stats
+}
+
+// VerifyEachPass, when set (test builds), re-verifies the module after
+// every stage of the hardening pipeline so that a pass that corrupts
+// the IR is caught at its own doorstep rather than downstream.
+var VerifyEachPass = false
+
 // Harden clones the module, applies the configured passes, verifies
 // the result and returns it. The input module is left untouched (it
 // remains the native baseline).
 func Harden(m *ir.Module, cfg Config) (*ir.Module, error) {
+	out, _, err := HardenWithStats(m, cfg)
+	return out, err
+}
+
+// HardenWithStats is Harden, additionally reporting per-stage
+// statistics for the overhead-reduction suite.
+func HardenWithStats(m *ir.Module, cfg Config) (*ir.Module, HardenStats, error) {
+	var st HardenStats
 	out := m.Clone()
+	stage := func(name string) error {
+		if !VerifyEachPass {
+			return nil
+		}
+		if err := ir.Verify(out); err != nil {
+			return fmt.Errorf("core: module fails verification after %s: %w", name, err)
+		}
+		return nil
+	}
 	if cfg.Optimize {
 		opt.Apply(out)
 		if err := ir.Verify(out); err != nil {
-			return nil, fmt.Errorf("core: optimized module fails verification: %w", err)
+			return nil, st, fmt.Errorf("core: optimized module fails verification: %w", err)
 		}
 	}
 	switch cfg.Mode {
@@ -154,14 +223,46 @@ func Harden(m *ir.Module, cfg Config) (*ir.Module, error) {
 		tx.Apply(out, txOptions(cfg))
 	case ModeHAFT:
 		ilr.Apply(out, ilrOptions(cfg.Opt))
+		if err := stage("ilr"); err != nil {
+			return nil, st, err
+		}
 		tx.Apply(out, txOptions(cfg))
 	default:
-		return nil, fmt.Errorf("core: unknown mode %d", cfg.Mode)
+		return nil, st, fmt.Errorf("core: unknown mode %d", cfg.Mode)
+	}
+	if err := stage("hardening"); err != nil {
+		return nil, st, err
+	}
+	// The overhead-reduction suite runs on the fully hardened module:
+	// relaxation first (it needs the TX boundaries in place), then the
+	// ILR reductions, with a scalar cleanup in between — block merging
+	// makes relaxed tx.check calls adjacent so coalescing can see them —
+	// and one after, to delete the code the reductions orphaned.
+	if cfg.anyReduction() && (cfg.Mode == ModeILR || cfg.Mode == ModeHAFT) {
+		if cfg.RelaxTX && cfg.Mode == ModeHAFT {
+			st.Relax = tx.Relax(out)
+			if err := stage("tx.relax"); err != nil {
+				return nil, st, err
+			}
+		}
+		st.Cleanup.Add(opt.Apply(out))
+		if err := stage("cleanup"); err != nil {
+			return nil, st, err
+		}
+		st.Reduce = ilr.Reduce(out, ilr.ReduceOptions{
+			CopyProp:        cfg.CopyProp,
+			RedundantChecks: cfg.ReduceChecks,
+			Coalesce:        cfg.CoalesceChecks,
+		})
+		if err := stage("ilr.reduce"); err != nil {
+			return nil, st, err
+		}
+		st.Cleanup.Add(opt.Apply(out))
 	}
 	if err := ir.Verify(out); err != nil {
-		return nil, fmt.Errorf("core: hardened module fails verification: %w", err)
+		return nil, st, fmt.Errorf("core: hardened module fails verification: %w", err)
 	}
-	return out, nil
+	return out, st, nil
 }
 
 // MustHarden is Harden that panics on error, for tests and fixtures.

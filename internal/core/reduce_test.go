@@ -1,0 +1,108 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/opt"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// runProgram hardens p with cfg, runs it on two threads and returns
+// the output stream and dynamic instruction count.
+func runProgram(t *testing.T, p *workloads.Program, cfg core.Config) ([]uint64, uint64) {
+	t.Helper()
+	cfg.TxThreshold = p.TxThreshold
+	cfg.Blacklist = p.Blacklist
+	hm, st, err := core.HardenWithStats(p.Module, cfg)
+	if err != nil {
+		t.Fatalf("harden %+v: %v", cfg, err)
+	}
+	_ = st
+	mach := vm.New(hm, 2, vm.DefaultConfig())
+	if got := mach.Run(p.SpecsFor(2)...); got != vm.StatusOK {
+		t.Fatalf("run %+v: status %v", cfg, got)
+	}
+	return mach.Output(), mach.Stats().DynInstrs
+}
+
+// TestReductionPreservesOutputs runs representative workloads under
+// every pass-toggle combination and demands bit-identical outputs,
+// with each pass re-verified (core.VerifyEachPass, opt.VerifyEachPass).
+func TestReductionPreservesOutputs(t *testing.T) {
+	core.VerifyEachPass = true
+	opt.VerifyEachPass = true
+	defer func() { core.VerifyEachPass = false; opt.VerifyEachPass = false }()
+
+	for _, name := range []string{"histogram", "kmeans", "blackscholes"} {
+		spec, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := spec.Build(0)
+		t.Run(name, func(t *testing.T) {
+			native, nInstrs := runProgram(t, p, core.Config{Mode: core.ModeNative})
+			baseCfg := core.DefaultConfig()
+			baseOut, baseInstrs := runProgram(t, p, baseCfg)
+			if !reflect.DeepEqual(native, baseOut) {
+				t.Fatalf("hardened output diverges from native before any reduction")
+			}
+			// All 16 toggle combinations, for both ILR-only and HAFT.
+			for _, mode := range []core.Mode{core.ModeILR, core.ModeHAFT} {
+				for mask := 0; mask < 16; mask++ {
+					cfg := core.DefaultConfig()
+					cfg.Mode = mode
+					cfg.CopyProp = mask&1 != 0
+					cfg.ReduceChecks = mask&2 != 0
+					cfg.CoalesceChecks = mask&4 != 0
+					cfg.RelaxTX = mask&8 != 0
+					out, instrs := runProgram(t, p, cfg)
+					if !reflect.DeepEqual(native, out) {
+						t.Fatalf("%v mask=%04b: output diverges from native", mode, mask)
+					}
+					_ = instrs
+				}
+			}
+			// The full suite must actually shrink the dynamic footprint.
+			redOut, redInstrs := runProgram(t, p, core.ReducedConfig())
+			if !reflect.DeepEqual(native, redOut) {
+				t.Fatalf("reduced output diverges from native")
+			}
+			if redInstrs >= baseInstrs {
+				t.Fatalf("reduction did not shrink dynamic instructions: base=%d reduced=%d",
+					baseInstrs, redInstrs)
+			}
+			t.Logf("native=%d hardened=%d reduced=%d (overhead %.2fx -> %.2fx)",
+				nInstrs, baseInstrs, redInstrs,
+				float64(baseInstrs)/float64(nInstrs), float64(redInstrs)/float64(nInstrs))
+		})
+	}
+}
+
+// TestHardenStatsReported checks the per-stage statistics surface: on a
+// real workload every enabled pass should report activity.
+func TestHardenStatsReported(t *testing.T) {
+	spec, err := workloads.ByName("histogram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := spec.Build(0)
+	cfg := core.ReducedConfig()
+	cfg.TxThreshold = p.TxThreshold
+	cfg.Blacklist = p.Blacklist
+	_, st, err := core.HardenWithStats(p.Module, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Relax.Relaxed == 0 {
+		t.Errorf("RelaxTX enabled but no checks relaxed: %+v", st.Relax)
+	}
+	if st.Reduce.Total() == 0 {
+		t.Errorf("reductions enabled but no activity: %+v", st.Reduce)
+	}
+	if st.Cleanup.Total() == 0 {
+		t.Errorf("cleanup reported nothing: %+v", st.Cleanup)
+	}
+}

@@ -85,6 +85,9 @@ func IntrinsicLatency(name string) uint64 {
 		return 3 // load counter, compare, predicted-not-taken branch
 	case "tx.counter_inc":
 		return 2
+	case "tx.check":
+		return 2 // pairwise compare + flag set, no branch
+
 	case "ilr.fail", "haft.crash":
 		return 1
 	case "lock.acquire", "lock.release":

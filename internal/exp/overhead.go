@@ -1,0 +1,164 @@
+// The "overhead" experiment: a Figure 7 analogue for the
+// check-reduction suite. Where Figure 7 walks the paper's cumulative
+// N/S/C/L/F optimization ladder in cycles, this experiment walks the
+// reduction-pass ladder in *dynamic instruction counts* — the
+// hardware-independent measure of the hardening tax — and verifies on
+// every step that the program's externalized output stays bit-identical
+// to the native run.
+package exp
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/core"
+	"repro/internal/ilr"
+	"repro/internal/report"
+	"repro/internal/tx"
+	"repro/internal/vm"
+)
+
+// overheadSteps is the cumulative pass ladder, in pipeline order.
+var overheadSteps = []struct {
+	label string
+	set   func(*core.Config)
+}{
+	{"base", func(*core.Config) {}},
+	{"+relax", func(c *core.Config) { c.RelaxTX = true }},
+	{"+copy", func(c *core.Config) { c.CopyProp = true }},
+	{"+rce", func(c *core.Config) { c.ReduceChecks = true }},
+	{"+coalesce", func(c *core.Config) { c.CoalesceChecks = true }},
+}
+
+// OverheadRow is one benchmark's measurement.
+type OverheadRow struct {
+	Benchmark string `json:"benchmark"`
+	// NativeInstrs is the dynamic instruction count of the unhardened
+	// run; StepInstrs has one entry per ladder step (base = full HAFT
+	// with no reduction passes, then passes enabled cumulatively).
+	NativeInstrs uint64   `json:"native_instrs"`
+	StepInstrs   []uint64 `json:"step_instrs"`
+	// StepOverheads are StepInstrs normalized to NativeInstrs.
+	StepOverheads []float64 `json:"step_overheads"`
+	// ExcessReductionPct is how much of the hardening tax
+	// (overhead - 1) the full suite removed, in percent.
+	ExcessReductionPct float64 `json:"excess_reduction_pct"`
+	// OutputsIdentical reports that every step's externalized output
+	// was bit-identical to the native run's.
+	OutputsIdentical bool `json:"outputs_identical"`
+	// Pass activity of the fully reduced build.
+	Relax  tx.RelaxStats   `json:"relax"`
+	Reduce ilr.ReduceStats `json:"reduce"`
+}
+
+// OverheadResult is the structured result of the overhead experiment.
+type OverheadResult struct {
+	Threads int           `json:"threads"`
+	Scale   int           `json:"scale"`
+	Steps   []string      `json:"steps"`
+	Rows    []OverheadRow `json:"rows"`
+	// AggregateExcessReductionPct weighs every benchmark's hardening
+	// tax equally: 100 * (sum of base excesses - sum of reduced
+	// excesses) / sum of base excesses.
+	AggregateExcessReductionPct float64 `json:"aggregate_excess_reduction_pct"`
+}
+
+// Overhead measures the dynamic-instruction overhead of full HAFT
+// hardening with the check-reduction passes enabled cumulatively, and
+// checks output bit-identity at every step.
+func Overhead(o Options) (*OverheadResult, *report.Table, error) {
+	th := o.PerfThreads
+	benches := o.benchList()
+	type meas struct {
+		row OverheadRow
+		err error
+	}
+	rows := parallelMap(len(benches), func(i int) meas {
+		p := benches[i].Build(o.Scale)
+		run := func(cfg core.Config) ([]uint64, uint64, core.HardenStats, error) {
+			cfg.TxThreshold = p.TxThreshold
+			cfg.Blacklist = p.Blacklist
+			mod, hs, err := core.HardenWithStats(p.Module, cfg)
+			if err != nil {
+				return nil, 0, hs, err
+			}
+			mach := vm.New(mod, th, vm.DefaultConfig())
+			hp := *p
+			hp.Module = mod
+			if st := mach.Run(hp.SpecsFor(th)...); st != vm.StatusOK {
+				return nil, 0, hs, fmt.Errorf("%s: run failed: %v (%s)",
+					p.Entry, st, mach.Stats().CrashReason)
+			}
+			return mach.Output(), mach.Stats().DynInstrs, hs, nil
+		}
+		r := OverheadRow{Benchmark: benches[i].Name, OutputsIdentical: true}
+		native, nInstrs, _, err := run(core.Config{Mode: core.ModeNative})
+		if err != nil {
+			return meas{err: err}
+		}
+		r.NativeInstrs = nInstrs
+		cfg := core.DefaultConfig()
+		var lastStats core.HardenStats
+		for _, step := range overheadSteps {
+			step.set(&cfg)
+			out, instrs, hs, err := run(cfg)
+			if err != nil {
+				return meas{err: fmt.Errorf("%s %s: %w", benches[i].Name, step.label, err)}
+			}
+			if !reflect.DeepEqual(out, native) {
+				r.OutputsIdentical = false
+			}
+			r.StepInstrs = append(r.StepInstrs, instrs)
+			r.StepOverheads = append(r.StepOverheads, float64(instrs)/float64(nInstrs))
+			lastStats = hs
+		}
+		r.Relax = lastStats.Relax
+		r.Reduce = lastStats.Reduce
+		base := r.StepOverheads[0] - 1
+		red := r.StepOverheads[len(r.StepOverheads)-1] - 1
+		if base > 0 {
+			r.ExcessReductionPct = 100 * (base - red) / base
+		}
+		return meas{row: r}
+	})
+
+	res := &OverheadResult{Threads: th, Scale: o.Scale}
+	for _, s := range overheadSteps {
+		res.Steps = append(res.Steps, s.label)
+	}
+	t := &report.Table{
+		Title: fmt.Sprintf("Overhead: hardened/native dynamic instructions by reduction pass (%d threads)", th),
+		Header: append(append([]string{"benchmark"}, res.Steps...),
+			"excess cut %", "outputs"),
+	}
+	var sumBase, sumRed float64
+	for _, m := range rows {
+		if m.err != nil {
+			return nil, nil, m.err
+		}
+		r := m.row
+		res.Rows = append(res.Rows, r)
+		sumBase += r.StepOverheads[0] - 1
+		sumRed += r.StepOverheads[len(r.StepOverheads)-1] - 1
+		outputs := "identical"
+		if !r.OutputsIdentical {
+			outputs = "DIVERGED"
+		}
+		cells := []interface{}{r.Benchmark}
+		for _, ov := range r.StepOverheads {
+			cells = append(cells, ov)
+		}
+		cells = append(cells, fmt.Sprintf("%.1f", r.ExcessReductionPct), outputs)
+		t.AddF(2, cells...)
+	}
+	if sumBase > 0 {
+		res.AggregateExcessReductionPct = 100 * (sumBase - sumRed) / sumBase
+	}
+	agg := []interface{}{"aggregate"}
+	for range overheadSteps {
+		agg = append(agg, "")
+	}
+	agg = append(agg, fmt.Sprintf("%.1f", res.AggregateExcessReductionPct), "")
+	t.AddF(2, agg...)
+	return res, t, nil
+}

@@ -162,7 +162,7 @@ func (t *transformer) emit(in ir.Instr) {
 func (t *transformer) emitShadowCopy(v ir.ValueID) {
 	t.emit(ir.Instr{
 		Op: ir.OpMov, Res: t.shadow(v),
-		Args: []ir.Operand{ir.Reg(v)}, Flags: ir.FlagShadow,
+		Args: []ir.Operand{ir.Reg(v)}, Flags: ir.FlagShadow | ir.FlagReplica,
 	})
 	t.lastShadowCopyOf = v
 }
@@ -293,15 +293,17 @@ func (t *transformer) emitInstr(bi int, in *ir.Instr) {
 			t.emit(sh)
 			return
 		}
-		// Figure 3a: check the address, load, replicate the value.
-		t.emitCheck(in.Args[0], 0)
+		// Figure 3a: check the address, load, replicate the value. The
+		// address check is a true externalization guard (a corrupted
+		// address faults immediately): it must stay eager.
+		t.emitCheck(in.Args[0], ir.FlagExtern)
 		t.emit(in.Clone())
 		t.emitShadowCopy(in.Res)
 		return
 
 	case in.Op == ir.OpALoad:
 		// Atomic loads always use the expensive scheme (§3.3).
-		t.emitCheck(in.Args[0], 0)
+		t.emitCheck(in.Args[0], ir.FlagExtern)
 		t.emit(in.Clone())
 		t.emitShadowCopy(in.Res)
 		return
@@ -335,23 +337,27 @@ func (t *transformer) emitInstr(bi int, in *ir.Instr) {
 			t.cur = cont
 			return
 		}
-		// Figure 3a: check value and address before the store.
+		// Figure 3a: check value and address before the store. The
+		// value check may be relaxed into the transaction (the store is
+		// buffered until commit); the address check stays eager.
 		t.emitCheck(in.Args[1], 0)
-		t.emitCheck(in.Args[0], 0)
+		t.emitCheck(in.Args[0], ir.FlagExtern)
 		t.emit(in.Clone())
 		return
 
 	case in.Op == ir.OpAStore:
 		// Atomic stores are irreversible externalization: always check
-		// value and address first.
-		t.emitCheck(in.Args[1], 0)
-		t.emitCheck(in.Args[0], 0)
+		// value and address first, eagerly.
+		t.emitCheck(in.Args[1], ir.FlagExtern)
+		t.emitCheck(in.Args[0], ir.FlagExtern)
 		t.emit(in.Clone())
 		return
 
 	case in.Op == ir.OpARMW:
+		// Atomics act on shared state other threads observe before our
+		// transaction commits: keep every operand check eager.
 		for k := len(in.Args) - 1; k >= 0; k-- {
-			t.emitCheck(in.Args[k], 0)
+			t.emitCheck(in.Args[k], ir.FlagExtern)
 		}
 		t.emit(in.Clone())
 		t.emitShadowCopy(in.Res)

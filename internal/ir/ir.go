@@ -63,6 +63,18 @@ const (
 	// FlagDetect marks the branch transferring control to a detection
 	// point (xabort / crash) on check failure.
 	FlagDetect
+	// FlagExtern marks checks guarding a true externalization point
+	// (addresses about to be dereferenced, atomics, arguments escaping
+	// to unprotected code). The TX-aware check relaxation must keep
+	// these eager: deferring them to transaction commit would let a
+	// corrupted value escape the transaction's write buffer.
+	FlagExtern
+	// FlagReplica marks the master-to-shadow mov that (re)seeds the
+	// shadow flow from a master value (load results, call results,
+	// parameters). Copy propagation must never propagate through a
+	// replica mov: doing so would collapse a master/shadow check into
+	// comparing the master register with itself.
+	FlagReplica
 )
 
 // Instr is a single IR instruction. Not every field is meaningful for

@@ -247,6 +247,10 @@ func parseInstr(text string, lineno int, blockIdx map[string]int) (Instr, error)
 				in.Flags |= FlagTXHelper
 			case "detect":
 				in.Flags |= FlagDetect
+			case "extern":
+				in.Flags |= FlagExtern
+			case "replica":
+				in.Flags |= FlagReplica
 			default:
 				return fail("unknown flag %q", fl)
 			}

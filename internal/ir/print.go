@@ -106,6 +106,12 @@ func formatInstr(f *Func, in *Instr) string {
 		if in.HasFlag(FlagDetect) {
 			fl = append(fl, "detect")
 		}
+		if in.HasFlag(FlagExtern) {
+			fl = append(fl, "extern")
+		}
+		if in.HasFlag(FlagReplica) {
+			fl = append(fl, "replica")
+		}
 		sb.WriteString(" !" + strings.Join(fl, ",")) //nolint
 	}
 	return sb.String()

@@ -43,7 +43,7 @@ func Verify(m *Module) error {
 // the HAFT design (§3.2) plus the "external library" surface.
 func IsIntrinsic(name string) bool {
 	switch name {
-	case "tx.begin", "tx.end", "tx.cond_split", "tx.counter_inc",
+	case "tx.begin", "tx.end", "tx.cond_split", "tx.counter_inc", "tx.check",
 		"ilr.fail", "haft.crash",
 		"lock.acquire", "lock.release",
 		"lock.acquire_elide", "lock.release_elide",
@@ -217,6 +217,15 @@ func checkShape(m *Module, f *Func, b *Block, i int, in *Instr) error {
 		}
 		if g := m.Func(in.Callee); g != nil && len(in.Args) != g.NParams {
 			return errf("call to %s with %d args, want %d", in.Callee, len(in.Args), g.NParams)
+		}
+		if in.Callee == "tx.check" {
+			// Variadic master/shadow pair list: (m1, s1, m2, s2, ...).
+			if len(in.Args) == 0 || len(in.Args)%2 != 0 {
+				return errf("tx.check wants an even, non-zero number of operands, has %d", len(in.Args))
+			}
+			if in.Res != NoValue {
+				return errf("tx.check must not define a result")
+			}
 		}
 		return nil
 	case OpCallInd:

@@ -1,0 +1,6 @@
+global arr[16];
+func main() {
+  var z = arr[0];
+  var x = 5 / z;
+  out(x);
+}

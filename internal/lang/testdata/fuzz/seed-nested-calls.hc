@@ -1,0 +1,20 @@
+global arr[16];
+func mix(x) local {
+  var h = x * 2654435761;
+  return h ^ (h >> 13);
+}
+func main() {
+  var acc = 7;
+  var i = 0;
+  while (i < 12) {
+    var j = 0;
+    while (j < 5) {
+      acc = mix(acc + j) + (acc >> 7);
+      arr[(acc) & 15] = acc;
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+  out(acc);
+  out(arr[3]);
+}

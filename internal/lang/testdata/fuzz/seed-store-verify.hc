@@ -1,0 +1,16 @@
+global arr[16];
+func main() {
+  var i = 0;
+  while (i < 16) {
+    arr[i] = i * 2654435761;
+    arr[(i + 1) & 15] = arr[i] ^ (i << 3);
+    i = i + 1;
+  }
+  var ck = 0;
+  var k = 0;
+  while (k < 16) {
+    ck = ck * 31 + arr[k];
+    k = k + 1;
+  }
+  out(ck);
+}

@@ -23,8 +23,10 @@
 package opt
 
 import (
+	"fmt"
 	"math"
 
+	"repro/internal/cfg"
 	"repro/internal/ir"
 )
 
@@ -34,36 +36,80 @@ type Stats struct {
 	DeadRemoved int
 	BlocksGone  int
 	BranchesCut int
+	// Threaded counts trivial jump-only blocks bypassed by jump
+	// threading.
+	Threaded int
+	// Merged counts single-predecessor blocks spliced into their
+	// predecessor.
+	Merged int
 }
+
+// VerifyEachPass, when set (test builds and the differential fuzzer),
+// re-verifies every function and recomputes its CFG and dominator tree
+// after each individual optimization pass, panicking on the first
+// structural inconsistency. The production pipeline verifies only the
+// final module.
+var VerifyEachPass = false
 
 // Apply optimizes every function of m in place and returns statistics.
 func Apply(m *ir.Module) Stats {
 	var st Stats
 	for _, f := range m.Funcs {
-		st.add(optimizeFunc(f))
+		st.add(optimizeFunc(m, f))
 	}
 	return st
 }
+
+// Add accumulates another run's counters into s.
+func (s *Stats) Add(o Stats) { s.add(o) }
 
 func (s *Stats) add(o Stats) {
 	s.Folded += o.Folded
 	s.DeadRemoved += o.DeadRemoved
 	s.BlocksGone += o.BlocksGone
 	s.BranchesCut += o.BranchesCut
+	s.Threaded += o.Threaded
+	s.Merged += o.Merged
 }
 
 // Total returns the total number of rewrites.
 func (s Stats) Total() int {
-	return s.Folded + s.DeadRemoved + s.BlocksGone + s.BranchesCut
+	return s.Folded + s.DeadRemoved + s.BlocksGone + s.BranchesCut + s.Threaded + s.Merged
 }
 
-func optimizeFunc(f *ir.Func) Stats {
+func optimizeFunc(m *ir.Module, f *ir.Func) Stats {
 	var st Stats
+	check := func(pass string) {
+		if !VerifyEachPass {
+			return
+		}
+		if err := ir.VerifyFunc(m, f); err != nil {
+			panic(fmt.Sprintf("opt: %s left %s invalid: %v", pass, f.Name, err))
+		}
+		// Dominator info is recomputed from scratch after every
+		// CFG-mutating pass; building the graph exercises the RPO and
+		// IDom computations over the rewritten block indices.
+		g := cfg.New(f)
+		for b := range f.Blocks {
+			if b != 0 && g.Reachable(b) && g.IDom[b] < 0 {
+				panic(fmt.Sprintf("opt: %s left %s with a reachable but undominated block %s",
+					pass, f.Name, f.Blocks[b].Name))
+			}
+		}
+	}
 	for pass := 0; pass < 8; pass++ {
 		n := foldConstants(f)
+		check("foldConstants")
 		n += simplifyBranches(f, &st)
+		check("simplifyBranches")
+		n += threadJumps(f, &st)
+		check("threadJumps")
+		n += mergeBlocks(f, &st)
+		check("mergeBlocks")
 		n += removeDeadCode(f, &st)
+		check("removeDeadCode")
 		n += removeUnreachable(f, &st)
+		check("removeUnreachable")
 		st.Folded += n
 		if n == 0 {
 			break
@@ -326,6 +372,141 @@ func removePhiEdges(f *ir.Func, blk, pred int) {
 			k++
 		}
 	}
+}
+
+// threadJumps bypasses trivial blocks that contain only an
+// unconditional jump: every predecessor is redirected straight to the
+// jump's target, and the trivial block becomes unreachable. To keep
+// phi rewriting trivially sound, a block is threaded only when its
+// target carries no phis (the continuation blocks the hardening and
+// reduction passes split off never do).
+func threadJumps(f *ir.Func, st *Stats) int {
+	changed := 0
+	for j, b := range f.Blocks {
+		if j == 0 || len(b.Instrs) != 1 {
+			continue
+		}
+		jmp := &b.Instrs[0]
+		if jmp.Op != ir.OpJmp || jmp.Blocks[0] == j {
+			continue
+		}
+		tgt := jmp.Blocks[0]
+		if blockHasPhis(f.Blocks[tgt]) {
+			continue
+		}
+		redirected := false
+		for pi, p := range f.Blocks {
+			if pi == j {
+				continue
+			}
+			t := p.Terminator()
+			if t == nil {
+				continue
+			}
+			for k, s := range t.Blocks {
+				if s == j {
+					t.Blocks[k] = tgt
+					redirected = true
+				}
+			}
+		}
+		if redirected {
+			changed++
+			st.Threaded++
+		}
+	}
+	return changed
+}
+
+// mergeBlocks splices a block into its predecessor when it is the
+// unique successor of a unique predecessor ending in an unconditional
+// jump. Phis in the merged block necessarily have one incoming value
+// and degrade to movs; phis in its successors are repointed at the
+// predecessor.
+func mergeBlocks(f *ir.Func, st *Stats) int {
+	changed := 0
+	for {
+		predCount, predOf := blockPreds(f)
+		merged := false
+		for a, ba := range f.Blocks {
+			t := ba.Terminator()
+			if t == nil || t.Op != ir.OpJmp {
+				continue
+			}
+			b := t.Blocks[0]
+			if b == a || b == 0 || predCount[b] != 1 || predOf[b] != a {
+				continue
+			}
+			bb := f.Blocks[b]
+			// Single-predecessor phis become movs of their only input.
+			body := make([]ir.Instr, 0, len(bb.Instrs))
+			for i := range bb.Instrs {
+				in := bb.Instrs[i]
+				if in.Op == ir.OpPhi {
+					in = ir.Instr{Op: ir.OpMov, Res: in.Res,
+						Args: []ir.Operand{in.Args[0]}, Flags: in.Flags}
+				}
+				body = append(body, in)
+			}
+			ba.Instrs = append(ba.Instrs[:len(ba.Instrs)-1], body...)
+			// Successor phis now flow in from a instead of b.
+			if nt := ba.Terminator(); nt != nil {
+				for _, s := range nt.Blocks {
+					for i := range f.Blocks[s].Instrs {
+						in := &f.Blocks[s].Instrs[i]
+						if in.Op != ir.OpPhi {
+							break
+						}
+						for k, p := range in.PhiPreds {
+							if p == b {
+								in.PhiPreds[k] = a
+							}
+						}
+					}
+				}
+			}
+			// Gut the absorbed block so its stale edges disappear from
+			// the CFG; removeUnreachable deletes it.
+			bb.Instrs = []ir.Instr{{Op: ir.OpTrap, Res: ir.NoValue}}
+			changed++
+			st.Merged++
+			merged = true
+			break
+		}
+		if !merged {
+			return changed
+		}
+	}
+}
+
+func blockHasPhis(b *ir.Block) bool {
+	return len(b.Instrs) > 0 && b.Instrs[0].Op == ir.OpPhi
+}
+
+// blockPreds counts terminator-edge predecessors per block (each
+// predecessor counted once even if it targets the block through both
+// branch slots) and records one representative predecessor.
+func blockPreds(f *ir.Func) (count []int, one []int) {
+	count = make([]int, len(f.Blocks))
+	one = make([]int, len(f.Blocks))
+	for i := range one {
+		one[i] = -1
+	}
+	for bi, b := range f.Blocks {
+		t := b.Terminator()
+		if t == nil {
+			continue
+		}
+		seen := map[int]bool{}
+		for _, s := range t.Blocks {
+			if !seen[s] {
+				seen[s] = true
+				count[s]++
+				one[s] = bi
+			}
+		}
+	}
+	return count, one
 }
 
 // removeUnreachable drops blocks with no path from the entry,

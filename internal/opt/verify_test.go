@@ -1,0 +1,135 @@
+package opt
+
+// Regression tests for the per-pass verification added with the
+// check-reduction suite: jump threading and block merging must leave
+// the SSA form, the CFG, and the dominator tree consistent after every
+// individual pass, not just at the end of the pipeline.
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+func runModule(t *testing.T, m *ir.Module) []uint64 {
+	t.Helper()
+	mach := vm.New(m.Clone(), 1, vm.DefaultConfig())
+	mach.Run(vm.ThreadSpec{Func: "main"})
+	if mach.Status() != vm.StatusOK {
+		t.Fatalf("run: %v (%s)", mach.Status(), mach.Stats().CrashReason)
+	}
+	return mach.Output()
+}
+
+// threadable builds a CFG with an empty forwarding block between a
+// conditional branch and a join with phis — the exact shape jump
+// threading rewrites — plus a loop so dominance is non-trivial.
+const threadable = `
+func main(0) {
+entry:
+  v1 = mov #3
+  v2 = cmp lt v1, #10
+  br v2, hop, right
+hop:
+  jmp join
+right:
+  jmp join
+join:
+  v3 = phi v1 [hop], v1 [right]
+  jmp head
+head:
+  v4 = phi v3 [join], v5 [head]
+  v5 = add v4, #1
+  v6 = cmp lt v5, #20
+  br v6, head, end
+end:
+  out v5
+  ret
+}
+`
+
+func TestJumpThreadingVerifiedPerPass(t *testing.T) {
+	old := VerifyEachPass
+	VerifyEachPass = true
+	defer func() { VerifyEachPass = old }()
+
+	m, err := ir.Parse(threadable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runModule(t, m)
+	st := Apply(m) // panics if any pass breaks SSA/CFG/dominators
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("final verify: %v\n%s", err, m)
+	}
+	if got := runModule(t, m); len(got) != 1 || got[0] != want[0] {
+		t.Fatalf("output changed: got %v want %v\n%s", got, want, m)
+	}
+	if st.Total() == 0 {
+		t.Fatalf("optimizer found nothing to do on the threading fixture:\n%s", m)
+	}
+}
+
+func TestDominatorsConsistentAfterThreading(t *testing.T) {
+	m, err := ir.Parse(threadable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Apply(m)
+	f := m.Func("main")
+	g := cfg.New(f)
+	for b := range f.Blocks {
+		if b == 0 || !g.Reachable(b) {
+			continue
+		}
+		idom := g.IDom[b]
+		if idom < 0 {
+			t.Fatalf("reachable block %s has no immediate dominator after threading:\n%s",
+				f.Blocks[b].Name, f)
+		}
+		if !g.Dominates(idom, b) {
+			t.Fatalf("IDom[%s] does not dominate it:\n%s", f.Blocks[b].Name, f)
+		}
+	}
+}
+
+func TestMergeBlocksRepointsSuccessorPhis(t *testing.T) {
+	old := VerifyEachPass
+	VerifyEachPass = true
+	defer func() { VerifyEachPass = old }()
+
+	// mid merges into its unique predecessor; the phi in join must be
+	// repointed from mid to the merged block.
+	m, err := ir.Parse(`
+func main(0) {
+entry:
+  v1 = mov #7
+  br v1, pre, other
+pre:
+  jmp mid
+mid:
+  v2 = add v1, #5
+  jmp join
+other:
+  v3 = add v1, #9
+  jmp join
+join:
+  v4 = phi v2 [mid], v3 [other]
+  out v4
+  ret
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runModule(t, m)
+	Apply(m)
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("verify after merge: %v\n%s", err, m)
+	}
+	if got := runModule(t, m); len(got) != 1 || got[0] != want[0] {
+		t.Fatalf("output changed: got %v want %v\n%s", got, want, m)
+	}
+}

@@ -1,0 +1,267 @@
+package tx
+
+// Unit tests for the TX-aware check relaxation and its folding
+// optimizations, on hand-written fixtures shaped like the ILR pass
+// output.
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func parseRelax(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return m
+}
+
+func findCall(f *ir.Func, callee string) []*ir.Instr {
+	var out []*ir.Instr
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == ir.OpCall && b.Instrs[i].Callee == callee {
+				out = append(out, &b.Instrs[i])
+			}
+		}
+	}
+	return out
+}
+
+func TestRelaxRewritesEagerCheck(t *testing.T) {
+	m := parseRelax(t, `
+func f(2) {
+entry:
+  v2 = cmp ne v0, v1 !check
+  br v2, det, cont !detect
+cont:
+  ret v0
+det:
+  call @ilr.fail !detect
+  trap !detect
+}
+`)
+	st := Relax(m)
+	if st.Relaxed != 1 {
+		t.Fatalf("Relaxed = %d, want 1\n%s", st.Relaxed, m.Func("f"))
+	}
+	cs := findCall(m.Func("f"), "tx.check")
+	if len(cs) != 1 || len(cs[0].Args) != 2 {
+		t.Fatalf("want one tx.check v0, v1:\n%s", m.Func("f"))
+	}
+	if !cs[0].HasFlag(ir.FlagCheck) || !cs[0].HasFlag(ir.FlagTXHelper) {
+		t.Errorf("tx.check missing check/txhelper flags:\n%s", m.Func("f"))
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestRelaxKeepsExternChecksEager(t *testing.T) {
+	m := parseRelax(t, `
+func f(2) {
+entry:
+  v2 = cmp ne v0, v1 !check,extern
+  br v2, det, cont !detect
+cont:
+  ret v0
+det:
+  call @ilr.fail !detect
+  trap !detect
+}
+`)
+	st := Relax(m)
+	if st.Relaxed != 0 || st.KeptEager != 1 {
+		t.Fatalf("Relaxed = %d, KeptEager = %d, want 0, 1", st.Relaxed, st.KeptEager)
+	}
+	if len(findCall(m.Func("f"), "tx.check")) != 0 {
+		t.Errorf("extern check was relaxed:\n%s", m.Func("f"))
+	}
+}
+
+func TestRelaxSkipsUnprotectedFuncs(t *testing.T) {
+	m := parseRelax(t, `
+func f(2) {
+entry:
+  v2 = cmp ne v0, v1 !check
+  br v2, det, cont !detect
+cont:
+  ret v0
+det:
+  call @ilr.fail !detect
+  trap !detect
+}
+`)
+	m.Func("f").Attrs.Unprotected = true
+	if st := Relax(m); st.Total() != 0 {
+		t.Fatalf("relaxed an unprotected function: %+v", st)
+	}
+}
+
+func TestRelaxFoldsStoreVerification(t *testing.T) {
+	// The shared-memory scheme's store verification: store, load back
+	// through the shadow address, compare with the shadow value. The
+	// fold replaces the load-back with a direct pair check before the
+	// store.
+	m := parseRelax(t, `
+global g bytes=16
+func f(4) {
+entry:
+  store v0, v2
+  v4 = load v1 volatile !shadow
+  v5 = cmp ne v4, v3 !check
+  br v5, det, cont !detect
+cont:
+  ret v2
+det:
+  call @ilr.fail !detect
+  trap !detect
+}
+`)
+	st := Relax(m)
+	if st.LoadsFolded != 1 {
+		t.Fatalf("LoadsFolded = %d, want 1\n%s", st.LoadsFolded, m.Func("f"))
+	}
+	f := m.Func("f")
+	// The load-back must be gone, the tx.check must precede the store
+	// and carry both pairs (address, shadow address, value, shadow value).
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == ir.OpLoad {
+				t.Fatalf("load-back survived the fold:\n%s", f)
+			}
+		}
+	}
+	entry := f.Blocks[0]
+	if !(entry.Instrs[0].Op == ir.OpCall && entry.Instrs[0].Callee == "tx.check") {
+		t.Fatalf("tx.check not hoisted before the store:\n%s", f)
+	}
+	if len(entry.Instrs[0].Args) != 4 {
+		t.Fatalf("folded tx.check args = %d, want 4 (both pairs):\n%s",
+			len(entry.Instrs[0].Args), f)
+	}
+	if entry.Instrs[1].Op != ir.OpStore {
+		t.Fatalf("store lost:\n%s", f)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestRelaxFoldSkipsMultiUseLoad(t *testing.T) {
+	// The loaded-back value escapes to the return: folding would change
+	// the function's result, so the pattern must not fire.
+	m := parseRelax(t, `
+global g bytes=16
+func f(4) {
+entry:
+  store v0, v2
+  v4 = load v1 volatile !shadow
+  v5 = cmp ne v4, v3 !check
+  br v5, det, cont !detect
+cont:
+  ret v4
+det:
+  call @ilr.fail !detect
+  trap !detect
+}
+`)
+	st := Relax(m)
+	if st.LoadsFolded != 0 {
+		t.Fatalf("folded a load-back with another use:\n%s", m.Func("f"))
+	}
+}
+
+func TestFoldCountersAdjacent(t *testing.T) {
+	m := parseRelax(t, `
+func f(0) {
+entry:
+  call @tx.counter_inc #7
+  call @tx.cond_split #100
+  ret
+}
+`)
+	st := Relax(m)
+	if st.CountersFolded != 1 {
+		t.Fatalf("CountersFolded = %d, want 1\n%s", st.CountersFolded, m.Func("f"))
+	}
+	f := m.Func("f")
+	if len(findCall(f, "tx.counter_inc")) != 0 {
+		t.Fatalf("counter_inc survived the adjacent fold:\n%s", f)
+	}
+	split := findCall(f, "tx.cond_split")
+	if len(split) != 1 || len(split[0].Args) != 2 ||
+		!split[0].Args[1].IsConst || split[0].Args[1].Const != 7 {
+		t.Fatalf("cond_split did not absorb the increment:\n%s", f)
+	}
+}
+
+func TestFoldCountersLatch(t *testing.T) {
+	// A loop whose single latch ends "counter_inc #k; jmp head" and
+	// whose header starts with a one-argument cond_split: the increment
+	// migrates into the split.
+	m := parseRelax(t, `
+func f(0) {
+entry:
+  v1 = mov #0
+  jmp head
+head:
+  v2 = phi v1 [entry], v3 [body]
+  call @tx.cond_split #100
+  v3 = add v2, #1
+  v4 = cmp lt v3, #10
+  br v4, body, end
+body:
+  call @tx.counter_inc #5
+  jmp head
+end:
+  ret
+}
+`)
+	st := Relax(m)
+	if st.CountersFolded != 1 {
+		t.Fatalf("CountersFolded = %d, want 1\n%s", st.CountersFolded, m.Func("f"))
+	}
+	f := m.Func("f")
+	if len(findCall(f, "tx.counter_inc")) != 0 {
+		t.Fatalf("latch counter_inc survived:\n%s", f)
+	}
+	split := findCall(f, "tx.cond_split")
+	if len(split) != 1 || len(split[0].Args) != 2 ||
+		!split[0].Args[1].IsConst || split[0].Args[1].Const != 5 {
+		t.Fatalf("header cond_split did not absorb the latch increment:\n%s", f)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestFoldCountersNonUniformLatchesKept(t *testing.T) {
+	// Two latches with different increments: folding would misattribute
+	// cost, so both stay.
+	m := parseRelax(t, `
+func f(1) {
+entry:
+  jmp head
+head:
+  call @tx.cond_split #100
+  br v0, a, b
+a:
+  call @tx.counter_inc #5
+  jmp head
+b:
+  call @tx.counter_inc #9
+  jmp head
+}
+`)
+	st := Relax(m)
+	if st.CountersFolded != 0 {
+		t.Fatalf("folded non-uniform latch increments:\n%s", m.Func("f"))
+	}
+	if n := len(findCall(m.Func("f"), "tx.counter_inc")); n != 2 {
+		t.Fatalf("counter_inc count = %d, want 2:\n%s", n, m.Func("f"))
+	}
+}

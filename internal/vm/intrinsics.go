@@ -62,6 +62,12 @@ func (m *Machine) execIntrinsic(c *core, in *ir.Instr) {
 
 	case "tx.cond_split":
 		threshold := int64(vals[0])
+		if len(vals) >= 2 {
+			// Folded counter increment (check-reduction suite): the
+			// loop-latch tx.counter_inc was absorbed into the header's
+			// conditional split.
+			c.counter += int64(vals[1])
+		}
 		if m.Cfg.AdaptiveThreshold {
 			if c.dynLimit == 0 {
 				c.dynLimit, c.dynBase = threshold, threshold
@@ -89,6 +95,32 @@ func (m *Machine) execIntrinsic(c *core, in *ir.Instr) {
 	case "tx.counter_inc":
 		c.sched.Issue(lat, opsReady)
 		c.counter += int64(vals[0])
+		advance()
+		return
+
+	case "tx.check":
+		// Relaxed ILR check (§3.3): compare master/shadow pairs without
+		// branching. Inside a transaction a mismatch only marks the
+		// core diverged — the reaction is deferred to the next commit
+		// point, where the transaction aborts before any buffered write
+		// becomes visible. Outside a transaction (fallback runs, plain
+		// ILR misuse) the check degrades to an eager fail-stop.
+		c.sched.Issue(lat, opsReady)
+		mismatch := false
+		for i := 0; i+1 < len(vals); i += 2 {
+			if vals[i] != vals[i+1] {
+				mismatch = true
+				break
+			}
+		}
+		if mismatch {
+			if m.HTM.InTx(c.id) && !m.Cfg.DisableRecovery {
+				c.diverged = true
+			} else {
+				m.status = StatusILRDetected
+				return
+			}
+		}
 		advance()
 		return
 
@@ -230,6 +262,20 @@ func (m *Machine) execIntrinsic(c *core, in *ir.Instr) {
 // applied; the caller must return immediately (control flow was
 // restored to the snapshot). Reports whether the commit succeeded.
 func (m *Machine) commitTx(c *core) bool {
+	if c.diverged {
+		// A relaxed check recorded a master/shadow divergence: abort
+		// instead of committing, exactly as an eager ilr.fail would
+		// have, just at the transaction boundary.
+		if m.Cfg.DisableRecovery {
+			m.status = StatusILRDetected
+			return false
+		}
+		m.stats.ExplicitAborts++
+		c.hadExplicit = true
+		m.HTM.Abort(c.id, c.sched.Now(), htm.CauseExplicit)
+		m.recoverAfterAbort(c)
+		return false
+	}
 	cause, ok := m.HTM.Commit(c.id, c.sched.Now(), func(addr, val uint64) {
 		m.mem[addr/8] = val
 	})
@@ -267,6 +313,7 @@ func (m *Machine) recoverAfterAbort(c *core) {
 	}
 	c.restoreSnapshot()
 	c.elided = c.elided[:0]
+	c.diverged = false
 	c.sched.Stall(cpu.IntrinsicLatency("tx.begin"))
 	if m.Cfg.AdaptiveThreshold && c.dynLimit > 0 {
 		c.commitStreak = 0

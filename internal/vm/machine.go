@@ -315,6 +315,13 @@ type core struct {
 	// as a recovery.
 	hadExplicit bool
 
+	// diverged records that a relaxed tx.check observed a master/shadow
+	// mismatch inside the active transaction. The divergence is acted
+	// on at the next commit point (abort-on-divergence at commit,
+	// §3.3): until then every side effect is still buffered by the
+	// HTM, so deferring the reaction loses no protection.
+	diverged bool
+
 	// Adaptive-threshold state (Config.AdaptiveThreshold).
 	dynLimit     int64
 	dynBase      int64
@@ -452,6 +459,7 @@ func (m *Machine) Reset() {
 		c.waitLock, c.waitBarrier = 0, 0
 		c.grantLock, c.grantBarrier = 0, 0
 		c.hadExplicit = false
+		c.diverged = false
 		c.dynLimit, c.dynBase, c.commitStreak = 0, 0, 0
 		c.doneVal = 0
 	}
