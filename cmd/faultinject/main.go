@@ -34,11 +34,16 @@
 //	                resume from it if it exists
 //	-max-sdc F      exit non-zero if any model's silent-corruption rate
 //	                exceeds F percent (gating threshold)
+//	-debug-addr A   serve live campaign telemetry on A: /metrics streams
+//	                per-model runs, SDC confidence intervals and the
+//	                abort-cause histogram; /trace exports campaign events
+//	                as Chrome trace JSON
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -59,6 +64,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "print campaign results as JSON")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file: saved after every batch, resumed from if present")
 	maxSDC := flag.Float64("max-sdc", -1, "exit non-zero if any model's SDC class rate exceeds this percentage (-1 disables)")
+	debugAddr := flag.String("debug-addr", "", "serve live campaign telemetry on this address (/metrics, /trace, /healthz)")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintf(os.Stderr, "usage: faultinject [flags] benchmark...\nbenchmarks: %s\n",
@@ -80,6 +86,28 @@ func main() {
 		fatal(err)
 	}
 
+	// Live telemetry: per-model progress (runs, SDC CI, abort-cause
+	// histogram) on /metrics, campaign events on /trace.
+	var (
+		reg  *haft.DebugRegistry
+		ring *haft.ObsRing
+	)
+	if *debugAddr != "" {
+		reg = haft.NewDebugRegistry()
+		haft.DeclareFaultCampaignMetrics(reg)
+		ring = haft.NewObsRing(1 << 16)
+		srv, err := haft.ListenDebug(*debugAddr, haft.NewDebugHandler(haft.DebugHandlerConfig{
+			Metrics: []func(io.Writer){reg.WriteProm},
+			Ring:    ring,
+			Health:  func() haft.DebugHealth { return haft.DebugHealth{OK: true} },
+		}))
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "faultinject: telemetry on http://%s/metrics\n", srv.Addr)
+	}
+
 	var results []*haft.FaultCampaignResult
 	for _, name := range flag.Args() {
 		for _, ms := range strings.Split(*mode, ",") {
@@ -96,6 +124,8 @@ func main() {
 				Segments:   *segments,
 				Flow:       flowVal,
 				Workers:    *workers,
+				Trace:      ring,
+				Progress:   reg,
 			}
 			if *checkpoint != "" {
 				if b, err := os.ReadFile(*checkpoint); err == nil {

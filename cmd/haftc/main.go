@@ -6,10 +6,14 @@
 //
 // Usage:
 //
-//	haftc [-mode native|ilr|tx|haft] [-opt N|S|C|L|F] [-threshold N] [-O] [-stats] [-run] [-threads N] [-trace N] file.{ir,hc}
+//	haftc [-mode native|ilr|tx|haft] [-opt N|S|C|L|F] [-threshold N] [-O] [-stats] [-run] [-threads N] [-trace N] [-profile] file.{ir,hc}
 //
 // With -run the program is also executed on the simulated machine and
-// its output and statistics are printed.
+// its output and statistics are printed. -profile additionally
+// attributes every dynamic instruction to master / shadow / check /
+// tx per function and source line (the Figure 7 breakdown);
+// -profile-folded writes pprof-style folded stacks for flame-graph
+// tooling.
 package main
 
 import (
@@ -35,6 +39,8 @@ func main() {
 	reduce := flag.Bool("reduce", false, "enable every overhead-reduction pass (-relax -copyprop -rce -coalesce)")
 	stats := flag.Bool("stats", false, "print static instrumentation statistics (LLVM -stats style)")
 	trace := flag.Int("trace", 0, "with -run: print the first N register-writing trace events (SDE debugtrace style)")
+	profile := flag.Bool("profile", false, "with -run: attribute dynamic instructions to master/shadow/check/tx per function and line")
+	folded := flag.String("profile-folded", "", "with -profile: also write pprof-style folded stacks to this file (- for stdout)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: haftc [flags] file.ir")
@@ -115,7 +121,11 @@ func main() {
 	}
 	if *run {
 		var res haft.Result
-		if *trace > 0 {
+		var prof *haft.Profile
+		switch {
+		case *profile:
+			res, prof = haft.RunProfiled(hard, *threads)
+		case *trace > 0:
 			var events []haft.TraceEvent
 			res, events = haft.Trace(hard, *threads, *trace)
 			fmt.Println("\n; trace (dynamic register writes):")
@@ -123,7 +133,7 @@ func main() {
 				fmt.Printf(";   #%-6d c%d %s/%s %-8s -> %d (cycle %d)\n",
 					ev.Index, ev.Core, ev.Func, ev.Block, ev.Op, int64(ev.Value), ev.Cycle)
 			}
-		} else {
+		default:
 			res = haft.Run(hard, *threads)
 		}
 		fmt.Printf("\n; status=%s cycles=%d (%.3g s) instrs=%d aborts=%.2f%% coverage=%.1f%%\n",
@@ -131,6 +141,20 @@ func main() {
 		fmt.Printf("; output: %v\n", res.Output)
 		if res.CrashReason != "" {
 			fmt.Printf("; crash: %s\n", res.CrashReason)
+		}
+		if prof != nil {
+			fmt.Println("\n; hardening-overhead profile:")
+			for _, line := range strings.Split(strings.TrimRight(prof.Report(), "\n"), "\n") {
+				fmt.Println("; " + line)
+			}
+			if *folded != "" {
+				out := prof.Folded(true)
+				if *folded == "-" {
+					fmt.Print(out)
+				} else if err := os.WriteFile(*folded, []byte(out), 0o644); err != nil {
+					fatal(err)
+				}
+			}
 		}
 	}
 }

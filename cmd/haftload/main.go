@@ -84,7 +84,7 @@ func main() {
 		}()
 	}
 
-	var sent, failed, corrupted atomic.Uint64
+	var sent, failed, corrupted, dialAttempts atomic.Uint64
 	lats := make([][]time.Duration, *conns)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -92,7 +92,8 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			c, err := dialRetry(*addr, deadline)
+			c, attempts, err := dialRetry(*addr, deadline)
+			dialAttempts.Add(uint64(attempts))
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "haftload: conn %d: %v\n", i, err)
 				return
@@ -152,7 +153,8 @@ func main() {
 	}
 
 	ok := uint64(len(all))
-	fmt.Printf("haftload: workload %s, %d conns, %s\n", w.Name, *conns, elapsed.Round(time.Millisecond))
+	fmt.Printf("haftload: workload %s, %d conns (%d dial attempts), %s\n",
+		w.Name, *conns, dialAttempts.Load(), elapsed.Round(time.Millisecond))
 	fmt.Printf("  sent        %d\n", sent.Load())
 	fmt.Printf("  ok          %d\n", ok)
 	fmt.Printf("  failed      %d\n", failed.Load())
@@ -181,17 +183,21 @@ func main() {
 // dialRetry connects to the server, retrying with exponential backoff
 // until it succeeds or the load deadline passes — so haftload can be
 // started before (or concurrently with) haftserve without racing its
-// listen socket.
-func dialRetry(addr string, deadline time.Time) (*haft.ServeConn, error) {
+// listen socket. It returns how many dial attempts were made. The
+// deadline check runs before the backoff sleep: once no retry can fit
+// before the deadline, the final failure returns immediately instead
+// of burning a last backoff interval asleep.
+func dialRetry(addr string, deadline time.Time) (*haft.ServeConn, int, error) {
 	backoff := 50 * time.Millisecond
 	const maxBackoff = 2 * time.Second
-	for {
+	for attempt := 1; ; attempt++ {
 		c, err := haft.DialServer(addr)
 		if err == nil {
-			return c, nil
+			return c, attempt, nil
 		}
 		if !time.Now().Add(backoff).Before(deadline) {
-			return nil, fmt.Errorf("dial %s: %w (gave up at the load deadline)", addr, err)
+			return nil, attempt, fmt.Errorf("dial %s: %w (gave up after %d attempts at the load deadline)",
+				addr, err, attempt)
 		}
 		time.Sleep(backoff)
 		if backoff *= 2; backoff > maxBackoff {

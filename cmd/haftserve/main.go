@@ -7,13 +7,19 @@
 //
 //	haftserve [-addr :7171] [-pool 8] [-batch 32] [-queue 1024]
 //	          [-seu 0] [-records 1024] [-valuework 4] [-mode haft]
-//	          [-metrics 0] [-json]
+//	          [-metrics 0] [-json] [-debug-addr addr]
 //
 // Drive it with cmd/haftload (or any client of the text protocol:
 // "get <k>", "put <k> <v>", "scan <k> <n>", "stats", "ping"). On
 // SIGINT/SIGTERM it prints the final metrics and exits; -metrics N
 // additionally prints a snapshot every N seconds; -json switches both
 // to machine-readable JSON.
+//
+// -debug-addr starts an HTTP debug listener with three endpoints:
+// /metrics (Prometheus text exposition of the live serving metrics),
+// /trace (the observability ring as Chrome trace JSON — load it in
+// chrome://tracing or Perfetto), and /healthz (pool and quarantine
+// state; 503 once the server is closed).
 package main
 
 import (
@@ -42,6 +48,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "injection campaign seed")
 	metricsEvery := flag.Int("metrics", 0, "print a metrics snapshot every N seconds (0 = off)")
 	jsonOut := flag.Bool("json", false, "print metrics as JSON instead of a table")
+	debugAddr := flag.String("debug-addr", "", "HTTP debug listener: /metrics, /trace, /healthz (empty = off)")
 	flag.Parse()
 
 	cfg := haft.DefaultServeConfig()
@@ -72,6 +79,16 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "haftserve: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *debugAddr != "" {
+		dbg, err := haft.ListenDebug(*debugAddr, srv.DebugHandler())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "haftserve: %v\n", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		fmt.Printf("haftserve: debug endpoints on http://%s/{metrics,trace,healthz}\n", dbg.Addr)
 	}
 
 	l, err := net.Listen("tcp", *addr)

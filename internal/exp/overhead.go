@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ilr"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/tx"
 	"repro/internal/vm"
@@ -46,6 +47,10 @@ type OverheadRow struct {
 	// OutputsIdentical reports that every step's externalized output
 	// was bit-identical to the native run's.
 	OutputsIdentical bool `json:"outputs_identical"`
+	// StepBreakdowns attributes each step's dynamic instructions to
+	// master / shadow / check / tx categories (the Figure 7 breakdown);
+	// every entry's Total equals the matching StepInstrs count.
+	StepBreakdowns []obs.ProfileSummary `json:"step_breakdowns"`
 	// Pass activity of the fully reduced build.
 	Relax  tx.RelaxStats   `json:"relax"`
 	Reduce ilr.ReduceStats `json:"reduce"`
@@ -75,24 +80,26 @@ func Overhead(o Options) (*OverheadResult, *report.Table, error) {
 	}
 	rows := parallelMap(len(benches), func(i int) meas {
 		p := benches[i].Build(o.Scale)
-		run := func(cfg core.Config) ([]uint64, uint64, core.HardenStats, error) {
+		run := func(cfg core.Config) ([]uint64, uint64, core.HardenStats, obs.ProfileSummary, error) {
 			cfg.TxThreshold = p.TxThreshold
 			cfg.Blacklist = p.Blacklist
 			mod, hs, err := core.HardenWithStats(p.Module, cfg)
 			if err != nil {
-				return nil, 0, hs, err
+				return nil, 0, hs, obs.ProfileSummary{}, err
 			}
 			mach := vm.New(mod, th, vm.DefaultConfig())
+			prof := obs.NewProfiler()
+			mach.SetProfiler(prof)
 			hp := *p
 			hp.Module = mod
 			if st := mach.Run(hp.SpecsFor(th)...); st != vm.StatusOK {
-				return nil, 0, hs, fmt.Errorf("%s: run failed: %v (%s)",
+				return nil, 0, hs, obs.ProfileSummary{}, fmt.Errorf("%s: run failed: %v (%s)",
 					p.Entry, st, mach.Stats().CrashReason)
 			}
-			return mach.Output(), mach.Stats().DynInstrs, hs, nil
+			return mach.Output(), mach.Stats().DynInstrs, hs, prof.Summary(), nil
 		}
 		r := OverheadRow{Benchmark: benches[i].Name, OutputsIdentical: true}
-		native, nInstrs, _, err := run(core.Config{Mode: core.ModeNative})
+		native, nInstrs, _, _, err := run(core.Config{Mode: core.ModeNative})
 		if err != nil {
 			return meas{err: err}
 		}
@@ -101,7 +108,7 @@ func Overhead(o Options) (*OverheadResult, *report.Table, error) {
 		var lastStats core.HardenStats
 		for _, step := range overheadSteps {
 			step.set(&cfg)
-			out, instrs, hs, err := run(cfg)
+			out, instrs, hs, sum, err := run(cfg)
 			if err != nil {
 				return meas{err: fmt.Errorf("%s %s: %w", benches[i].Name, step.label, err)}
 			}
@@ -110,6 +117,7 @@ func Overhead(o Options) (*OverheadResult, *report.Table, error) {
 			}
 			r.StepInstrs = append(r.StepInstrs, instrs)
 			r.StepOverheads = append(r.StepOverheads, float64(instrs)/float64(nInstrs))
+			r.StepBreakdowns = append(r.StepBreakdowns, sum)
 			lastStats = hs
 		}
 		r.Relax = lastStats.Relax
@@ -129,7 +137,7 @@ func Overhead(o Options) (*OverheadResult, *report.Table, error) {
 	t := &report.Table{
 		Title: fmt.Sprintf("Overhead: hardened/native dynamic instructions by reduction pass (%d threads)", th),
 		Header: append(append([]string{"benchmark"}, res.Steps...),
-			"excess cut %", "outputs"),
+			"excess cut %", "m/s/c/t %", "outputs"),
 	}
 	var sumBase, sumRed float64
 	for _, m := range rows {
@@ -148,7 +156,16 @@ func Overhead(o Options) (*OverheadResult, *report.Table, error) {
 		for _, ov := range r.StepOverheads {
 			cells = append(cells, ov)
 		}
-		cells = append(cells, fmt.Sprintf("%.1f", r.ExcessReductionPct), outputs)
+		breakdown := ""
+		if n := len(r.StepBreakdowns); n > 0 {
+			s := r.StepBreakdowns[n-1]
+			if s.Total > 0 {
+				pct := func(v uint64) float64 { return 100 * float64(v) / float64(s.Total) }
+				breakdown = fmt.Sprintf("%.0f/%.0f/%.0f/%.0f",
+					pct(s.Master), pct(s.Shadow), pct(s.Check), pct(s.Tx))
+			}
+		}
+		cells = append(cells, fmt.Sprintf("%.1f", r.ExcessReductionPct), breakdown, outputs)
 		t.AddF(2, cells...)
 	}
 	if sumBase > 0 {
@@ -158,7 +175,7 @@ func Overhead(o Options) (*OverheadResult, *report.Table, error) {
 	for range overheadSteps {
 		agg = append(agg, "")
 	}
-	agg = append(agg, fmt.Sprintf("%.1f", res.AggregateExcessReductionPct), "")
+	agg = append(agg, fmt.Sprintf("%.1f", res.AggregateExcessReductionPct), "", "")
 	t.AddF(2, agg...)
 	return res, t, nil
 }

@@ -1,0 +1,43 @@
+package exp
+
+import "testing"
+
+// TestOverheadBreakdownsSumToStepInstrs pins the profiler acceptance
+// criterion: every ladder step's master/shadow/check/tx breakdown must
+// sum exactly to that step's dynamic instruction count — the profiler
+// observes the same dispatch the stats counter does, so the breakdown
+// section of BENCH_overhead.json is consistent with its aggregates.
+func TestOverheadBreakdownsSumToStepInstrs(t *testing.T) {
+	o := DefaultOptions()
+	o.Scale = 0
+	o.PerfThreads = 2
+	o.Benchmarks = []string{"histogram", "linearreg"}
+	res, _, err := Overhead(o)
+	if err != nil {
+		t.Fatalf("overhead: %v", err)
+	}
+	for _, row := range res.Rows {
+		if len(row.StepBreakdowns) != len(row.StepInstrs) {
+			t.Fatalf("%s: %d breakdowns for %d steps",
+				row.Benchmark, len(row.StepBreakdowns), len(row.StepInstrs))
+		}
+		for i, s := range row.StepBreakdowns {
+			if s.Total != row.StepInstrs[i] {
+				t.Fatalf("%s step %d: breakdown total %d != step instrs %d",
+					row.Benchmark, i, s.Total, row.StepInstrs[i])
+			}
+			if sum := s.Master + s.Shadow + s.Check + s.Tx; sum != s.Total {
+				t.Fatalf("%s step %d: categories sum to %d, total %d",
+					row.Benchmark, i, sum, s.Total)
+			}
+		}
+		// Full HAFT always carries redundancy and detection work.
+		base := row.StepBreakdowns[0]
+		if base.Shadow == 0 || base.Check == 0 {
+			t.Fatalf("%s: base step has no hardening work: %+v", row.Benchmark, base)
+		}
+		if !row.OutputsIdentical {
+			t.Fatalf("%s: outputs diverged with profiler attached", row.Benchmark)
+		}
+	}
+}

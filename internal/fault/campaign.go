@@ -34,6 +34,7 @@ import (
 	"sync"
 
 	"repro/internal/htm"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/vm"
 )
@@ -183,6 +184,15 @@ type CampaignConfig struct {
 	// OnCheckpoint, if set, observes the campaign state after every
 	// batch (e.g. to persist it).
 	OnCheckpoint func(*CampaignResult)
+	// Trace, if set, receives observability events: every campaign
+	// machine emits its tx/detect/fault events into it (workers get
+	// disjoint actor bases) and the fold loop adds one KindCampaignRun
+	// event per injection, in deterministic run-index order.
+	Trace *obs.Ring
+	// Progress, if set, is updated after every batch with the per-model
+	// live state (runs, SDC confidence interval, abort-cause histogram)
+	// so a debug endpoint can stream campaign progress.
+	Progress *obs.Registry
 }
 
 func (c CampaignConfig) withDefaults() CampaignConfig {
@@ -564,7 +574,7 @@ func RunCampaign(t *Target, cfg CampaignConfig) (*CampaignResult, error) {
 		}
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(w int) {
 				defer wg.Done()
 				for i := range next {
 					model := cfg.Models[i%nm]
@@ -573,6 +583,12 @@ func RunCampaign(t *Target, cfg CampaignConfig) (*CampaignResult, error) {
 					plans := plansFor(model, cfg.Flow, rng, pops[model], seg, cfg.Segments)
 					mach := t.newMachine()
 					mach.Cfg.MaxDynInstrs = budget
+					if cfg.Trace != nil {
+						// Disjoint actor base per worker: the ring is shared
+						// and a run's core ids would otherwise collide.
+						mach.SetObsRing(cfg.Trace)
+						mach.SetObsActorBase(int32(w+1) * 64)
+					}
 					mach.SetFaultPlans(plans)
 					mach.Run(t.Specs...)
 					rec := runRecord{
@@ -588,7 +604,7 @@ func RunCampaign(t *Target, cfg CampaignConfig) (*CampaignResult, error) {
 					}
 					records[i-res.NextIndex] = rec
 				}
-			}()
+			}(w)
 		}
 		for i := res.NextIndex; i < end; i++ {
 			next <- i
@@ -613,6 +629,16 @@ func RunCampaign(t *Target, cfg CampaignConfig) (*CampaignResult, error) {
 				s.Total++
 				s.Counts[rec.outcome]++
 			}
+			if cfg.Trace != nil {
+				// Wall-domain run marker, folded in index order so the
+				// trace is deterministic regardless of worker scheduling.
+				cfg.Trace.Emit(obs.Event{
+					Kind: obs.KindCampaignRun, Domain: obs.DomainWall,
+					Actor: int32(i % nm), Time: cfg.Trace.Now(),
+					A: uint64(i), B: uint64(rec.outcome),
+					Label: mr.Model.String() + "/" + rec.outcome.String(),
+				})
+			}
 		}
 		res.NextIndex = end
 
@@ -625,6 +651,9 @@ func RunCampaign(t *Target, cfg CampaignConfig) (*CampaignResult, error) {
 				}
 			}
 			res.Stopped = converged
+		}
+		if cfg.Progress != nil {
+			PublishProgress(cfg.Progress, res)
 		}
 		if cfg.OnCheckpoint != nil {
 			cfg.OnCheckpoint(res)

@@ -32,6 +32,8 @@ package htm
 import (
 	"fmt"
 	"math/rand"
+
+	"repro/internal/obs"
 )
 
 // CacheLineBytes is the coherence granularity of read/write sets.
@@ -248,6 +250,14 @@ type System struct {
 	cores []tx
 	rng   *rand.Rand
 	Stats Stats
+	// Trace, when non-nil, receives a tx lifecycle event (begin,
+	// commit, abort with cause) for every transaction. The HTM layer
+	// emits these itself because only it knows the resolved abort
+	// cause at abort time.
+	Trace *obs.Ring
+	// TraceActorBase is added to the core id in emitted events so that
+	// several HTM systems sharing one ring stay distinguishable.
+	TraceActorBase int32
 }
 
 // NewSystem creates an HTM with ncores logical cores.
@@ -313,6 +323,9 @@ func (s *System) Begin(core int, cycle uint64) {
 		}
 	}
 	s.Stats.Started++
+	if s.Trace != nil {
+		s.Trace.Emit(obs.Event{Kind: obs.KindTxBegin, Actor: s.TraceActorBase + int32(core), Time: cycle})
+	}
 }
 
 // Commit attempts to commit the core's transaction (XEND). On success
@@ -337,6 +350,9 @@ func (s *System) Commit(core int, cycle uint64, apply func(addr, val uint64)) (C
 	s.Stats.Committed++
 	s.Stats.TxCycles += cycle - t.startCycle
 	t.active = false
+	if s.Trace != nil {
+		s.Trace.Emit(obs.Event{Kind: obs.KindTxCommit, Actor: s.TraceActorBase + int32(core), Time: cycle})
+	}
 	return CauseNone, true
 }
 
@@ -360,6 +376,12 @@ func (s *System) abort(core int, cycle uint64, cause Cause) {
 	s.Stats.WastedCycles += cycle - t.startCycle
 	t.active = false
 	t.doomed = CauseNone
+	if s.Trace != nil {
+		s.Trace.Emit(obs.Event{
+			Kind: obs.KindTxAbort, Actor: s.TraceActorBase + int32(core), Time: cycle,
+			Label: cause.String(),
+		})
+	}
 }
 
 // RecordFallback notes that a retry budget was exhausted.

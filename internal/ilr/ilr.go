@@ -131,6 +131,11 @@ type transformer struct {
 	// lastShadowCopyOf is the master value whose shadow was created by
 	// the immediately preceding emitted instruction (peephole state).
 	lastShadowCopyOf ir.ValueID
+
+	// curLine is the source line of the original instruction being
+	// transformed; inserted shadow copies, checks, and detection
+	// branches inherit it so profiler attribution stays per-line.
+	curLine int32
 }
 
 // Branch targets pointing at original block indices are encoded as
@@ -153,6 +158,9 @@ func (t *transformer) newBlock(name string) int {
 }
 
 func (t *transformer) emit(in ir.Instr) {
+	if in.Line == 0 {
+		in.Line = t.curLine
+	}
 	t.nf.Blocks[t.cur].Instrs = append(t.nf.Blocks[t.cur].Instrs, in)
 	t.lastShadowCopyOf = ir.NoValue
 }
@@ -242,6 +250,7 @@ func (t *transformer) emitBlock(bi int, b *ir.Block) {
 	var shadowPhis []ir.Instr
 	for i < len(b.Instrs) && b.Instrs[i].Op == ir.OpPhi {
 		in := b.Instrs[i]
+		t.curLine = in.Line
 		t.emit(in.Clone())
 		sp := in.Clone()
 		sp.Res = t.shadow(in.Res)
@@ -269,6 +278,7 @@ func (t *transformer) emitBlock(bi int, b *ir.Block) {
 
 // emitInstr transforms one non-phi instruction.
 func (t *transformer) emitInstr(bi int, in *ir.Instr) {
+	t.curLine = in.Line
 	switch {
 	case in.Op.Replicable():
 		t.emit(in.Clone())

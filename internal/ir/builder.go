@@ -13,8 +13,9 @@ package ir
 //	fb.Ret(ir.Reg(s))
 //	f := fb.Done()
 type FuncBuilder struct {
-	f   *Func
-	cur int // current block index, -1 if unset
+	f    *Func
+	cur  int   // current block index, -1 if unset
+	line int32 // source line stamped onto appended instructions
 }
 
 // NewFuncBuilder starts a function with the given name and parameter
@@ -50,6 +51,12 @@ func (fb *FuncBuilder) Block(name string) int {
 // SetBlock moves the insertion point to block b.
 func (fb *FuncBuilder) SetBlock(b int) { fb.cur = b }
 
+// SetLine sets the source line stamped onto subsequently appended
+// instructions (0 disables stamping). Front ends call it once per
+// lowered statement so the profiler can attribute dynamic cost to
+// source lines.
+func (fb *FuncBuilder) SetLine(line int) { fb.line = int32(line) }
+
 // CurBlock returns the current insertion block index.
 func (fb *FuncBuilder) CurBlock() int { return fb.cur }
 
@@ -69,6 +76,9 @@ func (fb *FuncBuilder) Alloca(n int64) int64 {
 func (fb *FuncBuilder) Append(in Instr) ValueID {
 	if fb.cur < 0 {
 		panic("ir: no insertion block")
+	}
+	if in.Line == 0 {
+		in.Line = fb.line
 	}
 	b := fb.f.Blocks[fb.cur]
 	b.Instrs = append(b.Instrs, in)

@@ -92,6 +92,13 @@ type Instr struct {
 	PhiPreds []int   // OpPhi: predecessor block indices, parallel to Args
 	Volatile bool    // OpLoad: not removable/reorderable (shadow loads)
 	Flags    InstrFlags
+	// Line is the source line the instruction derives from: the
+	// textual IR line for parsed modules, the surface-language line
+	// for compiled ones. Hardening passes stamp inserted instructions
+	// with the line of the master instruction they guard, so the
+	// profiler can attribute overhead to source lines. 0 = unknown
+	// (synthesized runtime helpers).
+	Line int32
 }
 
 // NArgs returns the number of operands.

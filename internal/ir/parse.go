@@ -219,7 +219,7 @@ var predByName = func() map[string]Pred {
 }()
 
 func parseInstr(text string, lineno int, blockIdx map[string]int) (Instr, error) {
-	in := Instr{Res: NoValue}
+	in := Instr{Res: NoValue, Line: int32(lineno)}
 	fail := func(format string, args ...interface{}) (Instr, error) {
 		return in, fmt.Errorf("ir: line %d: "+format, append([]interface{}{lineno}, args...)...)
 	}

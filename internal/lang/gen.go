@@ -127,6 +127,22 @@ func (g *generator) lowerBlock(b *Block) error {
 }
 
 func (g *generator) lowerStmt(s Stmt) error {
+	// Stamp the statement's source line onto everything it lowers to,
+	// so the obs profiler can attribute dynamic cost per line.
+	switch st := s.(type) {
+	case *VarStmt:
+		g.fb.SetLine(st.Line)
+	case *AssignStmt:
+		g.fb.SetLine(st.Line)
+	case *IfStmt:
+		g.fb.SetLine(st.Line)
+	case *WhileStmt:
+		g.fb.SetLine(st.Line)
+	case *ReturnStmt:
+		g.fb.SetLine(st.Line)
+	case *ExprStmt:
+		g.fb.SetLine(st.Line)
+	}
 	switch st := s.(type) {
 	case *VarStmt:
 		if _, dup := g.slots[st.Name]; dup {

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ChromeOptions parameterizes the trace_event exporter.
+type ChromeOptions struct {
+	// CyclesPerUsec converts VM-domain cycles to microseconds.
+	// Defaults to 2000 (the 2 GHz model clock).
+	CyclesPerUsec float64
+	// Dropped is reported in otherData so viewers know the ring
+	// overwrote history.
+	Dropped uint64
+}
+
+// ChromeTrace renders events as Chrome trace_event JSON (the "JSON
+// Array with metadata" flavor), loadable in chrome://tracing and
+// https://ui.perfetto.dev. VM-domain events appear under pid 1
+// ("vm", tid = core, timestamps in simulated microseconds at the
+// 2 GHz model clock); wall-domain events under pid 2 ("host", tid =
+// worker, timestamps from the ring clock). Transactions render as
+// B/E duration slices named "tx" (aborts carry outcome/cause args);
+// everything else is an instant event.
+//
+// Output is deterministic: events are ordered by ring sequence and
+// no wall-clock state is consulted, so identical event streams render
+// byte-identically.
+func ChromeTrace(events []Event, opt ChromeOptions) []byte {
+	if opt.CyclesPerUsec <= 0 {
+		opt.CyclesPerUsec = 2000 // cpu.FreqGHz * 1e3
+	}
+	var b bytes.Buffer
+	b.WriteString(`{"traceEvents":[` + "\n")
+	b.WriteString(`{"name":"process_name","ph":"M","pid":1,"args":{"name":"vm"}},` + "\n")
+	b.WriteString(`{"name":"process_name","ph":"M","pid":2,"args":{"name":"host"}}`)
+	for i := range events {
+		ev := &events[i]
+		b.WriteString(",\n")
+		writeChromeEvent(&b, ev, opt.CyclesPerUsec)
+	}
+	fmt.Fprintf(&b, "\n],\n\"displayTimeUnit\":\"ns\",\n\"otherData\":{\"dropped\":%d,\"events\":%d}}\n",
+		opt.Dropped, len(events))
+	return b.Bytes()
+}
+
+func writeChromeEvent(b *bytes.Buffer, ev *Event, cyclesPerUsec float64) {
+	pid, ts := 1, float64(ev.Time)/cyclesPerUsec
+	if ev.Domain == DomainWall {
+		pid, ts = 2, float64(ev.Time)/1e3
+	}
+	name, ph := ev.Kind.String(), "i"
+	switch ev.Kind {
+	case KindTxBegin:
+		name, ph = "tx", "B"
+	case KindTxCommit, KindTxAbort:
+		name, ph = "tx", "E"
+	}
+	fmt.Fprintf(b, `{"name":%s,"ph":"%s","pid":%d,"tid":%d,"ts":%s`,
+		quoteJSON(name), ph, pid, ev.Actor, strconv.FormatFloat(ts, 'f', 3, 64))
+	if ph == "i" {
+		b.WriteString(`,"s":"t"`)
+	}
+	b.WriteString(`,"args":{`)
+	writeChromeArgs(b, ev)
+	b.WriteString("}}")
+}
+
+// writeChromeArgs renders the kind-specific payload names so traces
+// are self-describing in the viewer's args pane.
+func writeChromeArgs(b *bytes.Buffer, ev *Event) {
+	arg := func(first *bool, k, v string) {
+		if !*first {
+			b.WriteByte(',')
+		}
+		*first = false
+		fmt.Fprintf(b, `"%s":%s`, k, v)
+	}
+	first := true
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	switch ev.Kind {
+	case KindTxCommit:
+		arg(&first, "outcome", `"commit"`)
+	case KindTxAbort:
+		arg(&first, "outcome", `"abort"`)
+		if ev.Label != "" {
+			arg(&first, "cause", quoteJSON(ev.Label))
+		}
+		arg(&first, "retries", u(ev.A))
+	case KindCheckDiverge:
+		arg(&first, "master", u(ev.A))
+		arg(&first, "shadow", u(ev.B))
+		if ev.Label != "" {
+			arg(&first, "site", quoteJSON(ev.Label))
+		}
+	case KindFault:
+		if ev.Label != "" {
+			arg(&first, "site", quoteJSON(ev.Label))
+		}
+		arg(&first, "instr", u(ev.A))
+	case KindRequest:
+		arg(&first, "id", u(ev.A))
+	case KindResponse:
+		arg(&first, "id", u(ev.A))
+		arg(&first, "latency_ns", u(ev.B))
+	case KindRetry:
+		arg(&first, "attempt", u(ev.A))
+	case KindQuarantine:
+		arg(&first, "generation", u(ev.A))
+	case KindCampaignRun:
+		if ev.Label != "" {
+			arg(&first, "model", quoteJSON(ev.Label))
+		}
+		arg(&first, "run", u(ev.A))
+		arg(&first, "outcome", u(ev.B))
+	default:
+		if ev.Label != "" {
+			arg(&first, "label", quoteJSON(ev.Label))
+		}
+		if ev.A != 0 {
+			arg(&first, "a", u(ev.A))
+		}
+		if ev.B != 0 {
+			arg(&first, "b", u(ev.B))
+		}
+	}
+	arg(&first, "seq", u(ev.Seq))
+}
+
+// quoteJSON escapes a label for embedding in the hand-built JSON.
+// Labels are site/cause names (identifier-ish), so only the basics.
+func quoteJSON(s string) string {
+	if !strings.ContainsAny(s, `"\`+"\x00\n\t") {
+		return `"` + s + `"`
+	}
+	return strconv.Quote(s)
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// goldenEvents emits a fixed event mix through a ring with a logical
+// clock (no wall time), so the exported trace is fully deterministic.
+func goldenEvents() []Event {
+	r := NewRing(64)
+	var tick uint64
+	r.Now = func() uint64 { tick += 500; return tick }
+	r.Emit(Event{Kind: KindTxBegin, Actor: 0, Time: 4000})
+	r.Emit(Event{Kind: KindCheckDiverge, Actor: 0, Time: 5000, A: 7, B: 9, Label: "main/loop"})
+	r.Emit(Event{Kind: KindTxAbort, Actor: 0, Time: 6000, A: 1, Label: "explicit"})
+	r.Emit(Event{Kind: KindTxBegin, Actor: 0, Time: 6400})
+	r.Emit(Event{Kind: KindTxCommit, Actor: 0, Time: 8000})
+	r.Emit(Event{Kind: KindRequest, Domain: DomainWall, Actor: 1, Time: r.Now(), A: 1})
+	r.Emit(Event{Kind: KindResponse, Domain: DomainWall, Actor: 1, Time: r.Now(), A: 1, B: 248500})
+	r.Emit(Event{Kind: KindQuarantine, Domain: DomainWall, Actor: 2, Time: r.Now(), A: 3})
+	return r.Snapshot()
+}
+
+const goldenChromeTrace = `{"traceEvents":[
+{"name":"process_name","ph":"M","pid":1,"args":{"name":"vm"}},
+{"name":"process_name","ph":"M","pid":2,"args":{"name":"host"}},
+{"name":"tx","ph":"B","pid":1,"tid":0,"ts":2.000,"args":{"seq":0}},
+{"name":"check.diverge","ph":"i","pid":1,"tid":0,"ts":2.500,"s":"t","args":{"master":7,"shadow":9,"site":"main/loop","seq":1}},
+{"name":"tx","ph":"E","pid":1,"tid":0,"ts":3.000,"args":{"outcome":"abort","cause":"explicit","retries":1,"seq":2}},
+{"name":"tx","ph":"B","pid":1,"tid":0,"ts":3.200,"args":{"seq":3}},
+{"name":"tx","ph":"E","pid":1,"tid":0,"ts":4.000,"args":{"outcome":"commit","seq":4}},
+{"name":"request","ph":"i","pid":2,"tid":1,"ts":0.500,"s":"t","args":{"id":1,"seq":5}},
+{"name":"response","ph":"i","pid":2,"tid":1,"ts":1.000,"s":"t","args":{"id":1,"latency_ns":248500,"seq":6}},
+{"name":"quarantine","ph":"i","pid":2,"tid":2,"ts":1.500,"s":"t","args":{"generation":3,"seq":7}}
+],
+"displayTimeUnit":"ns",
+"otherData":{"dropped":0,"events":8}}
+`
+
+// TestChromeTraceGolden pins the exporter's exact output: stable event
+// ordering, stable number formatting, no wall-clock leakage.
+func TestChromeTraceGolden(t *testing.T) {
+	got := ChromeTrace(goldenEvents(), ChromeOptions{})
+	if string(got) != goldenChromeTrace {
+		t.Fatalf("chrome trace diverged from golden:\n got:\n%s\nwant:\n%s", got, goldenChromeTrace)
+	}
+	// Determinism: a second export of the same events is byte-identical.
+	if again := ChromeTrace(goldenEvents(), ChromeOptions{}); !bytes.Equal(got, again) {
+		t.Fatalf("two exports of the same events differ")
+	}
+}
+
+// TestChromeTraceIsValidJSON loads the export back through the JSON
+// parser — the hand-built writer must stay syntactically valid for
+// chrome://tracing and Perfetto.
+func TestChromeTraceIsValidJSON(t *testing.T) {
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		OtherData   map[string]any   `json:"otherData"`
+	}
+	raw := ChromeTrace(goldenEvents(), ChromeOptions{Dropped: 12})
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, raw)
+	}
+	// 2 process_name metadata records + 8 events.
+	if len(doc.TraceEvents) != 10 {
+		t.Fatalf("got %d trace events, want 10", len(doc.TraceEvents))
+	}
+	if doc.OtherData["dropped"].(float64) != 12 {
+		t.Fatalf("otherData.dropped = %v, want 12", doc.OtherData["dropped"])
+	}
+	for _, ev := range doc.TraceEvents[2:] {
+		if _, ok := ev["args"].(map[string]any)["seq"]; !ok {
+			t.Fatalf("event missing seq arg: %v", ev)
+		}
+	}
+}
+
+// TestChromeTraceEscaping covers labels that need JSON escaping.
+func TestChromeTraceEscaping(t *testing.T) {
+	evs := []Event{{Kind: KindChaos, Domain: DomainWall, Actor: 0, Time: 1000, Label: "odd \"label\"\nwith\tescapes"}}
+	raw := ChromeTrace(evs, ChromeOptions{})
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("escaped label broke the JSON: %v\n%s", err, raw)
+	}
+}

@@ -1,0 +1,339 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// Category classifies a dynamic instruction by which part of the
+// hardening pipeline put it there — the attribution behind the
+// paper's Fig. 7 overhead breakdown.
+type Category uint8
+
+const (
+	// CatMaster is the original program flow (plus anything the
+	// pipeline didn't mark — native runs profile as 100% master).
+	CatMaster Category = iota
+	// CatShadow is the ILR shadow data flow (including the replica
+	// movs that reseed it).
+	CatShadow
+	// CatCheck is detection work: ILR checks, fault-propagation
+	// checks, detection branches, deferred tx.check/ilr.fail calls.
+	CatCheck
+	// CatTx is transactification work: tx.* boundary helpers and the
+	// instructions the TX pass inserted around them.
+	CatTx
+
+	NumCategories
+)
+
+var categoryNames = [NumCategories]string{"master", "shadow", "check", "tx"}
+
+func (c Category) String() string {
+	if int(c) < len(categoryNames) {
+		return categoryNames[c]
+	}
+	return "unknown"
+}
+
+// Classify attributes one instruction to a category using the pass
+// metadata flags. Precedence: detection work beats shadow (a check on
+// a shadow value is still a check), transactification helpers beat
+// master. tx.check and ilr.fail calls are detection work even though
+// the relax pass routes them through the tx runtime.
+func Classify(in *ir.Instr) Category {
+	if in.Flags&(ir.FlagCheck|ir.FlagDetect) != 0 {
+		return CatCheck
+	}
+	if in.Op == ir.OpCall {
+		switch {
+		case in.Callee == "tx.check" || in.Callee == "ilr.fail":
+			return CatCheck
+		case strings.HasPrefix(in.Callee, "tx."):
+			return CatTx
+		}
+	}
+	if in.Flags&ir.FlagTXHelper != 0 {
+		return CatTx
+	}
+	if in.Flags&(ir.FlagShadow|ir.FlagReplica) != 0 {
+		return CatShadow
+	}
+	return CatMaster
+}
+
+// ProfileSummary is the per-category dynamic instruction total, in a
+// JSON shape meant for embedding in experiment results. The four
+// categories always sum to Total, which equals the run's DynInstrs —
+// the profiler observes the same dispatch the stats counter does.
+type ProfileSummary struct {
+	Master uint64 `json:"master"`
+	Shadow uint64 `json:"shadow"`
+	Check  uint64 `json:"check"`
+	Tx     uint64 `json:"tx"`
+	Total  uint64 `json:"total"`
+}
+
+func (s ProfileSummary) add(c Category, n uint64) ProfileSummary {
+	switch c {
+	case CatShadow:
+		s.Shadow += n
+	case CatCheck:
+		s.Check += n
+	case CatTx:
+		s.Tx += n
+	default:
+		s.Master += n
+	}
+	s.Total += n
+	return s
+}
+
+// LineProfile is the per-category count of one source line.
+type LineProfile struct {
+	Line   int32
+	Counts [NumCategories]uint64
+}
+
+// FuncProfile accumulates one function's attribution.
+type FuncProfile struct {
+	Name   string
+	Counts [NumCategories]uint64
+	lines  map[int32]*[NumCategories]uint64
+}
+
+// Total is the function's dynamic instruction count.
+func (f *FuncProfile) Total() uint64 {
+	var t uint64
+	for _, c := range f.Counts {
+		t += c
+	}
+	return t
+}
+
+// Lines returns the per-line breakdown sorted by line number.
+// Line 0 collects instructions with no source attribution (runtime
+// helpers synthesized by the TX pass).
+func (f *FuncProfile) Lines() []LineProfile {
+	out := make([]LineProfile, 0, len(f.lines))
+	for ln, c := range f.lines {
+		out = append(out, LineProfile{Line: ln, Counts: *c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Line < out[j].Line })
+	return out
+}
+
+// Profiler attributes every executed instruction to a (function,
+// source line, category) cell. It is written from a single VM
+// scheduler goroutine (the simulator is sequential even for
+// multi-threaded guests); use Merge to aggregate across runs.
+// A nil profiler is a no-op, so the VM hook costs one predictable
+// branch when profiling is off.
+type Profiler struct {
+	funcs map[*ir.Func]*FuncProfile
+	// byName merges same-named functions across modules (Merge,
+	// repeated runs of re-hardened programs).
+	byName map[string]*FuncProfile
+	// one-entry cache: guest loops stay within a function for long
+	// stretches, so most Notes skip both map lookups.
+	lastFn *ir.Func
+	lastFP *FuncProfile
+}
+
+// NewProfiler returns an empty profiler.
+func NewProfiler() *Profiler {
+	return &Profiler{
+		funcs:  make(map[*ir.Func]*FuncProfile),
+		byName: make(map[string]*FuncProfile),
+	}
+}
+
+func (p *Profiler) funcProfile(name string) *FuncProfile {
+	fp := p.byName[name]
+	if fp == nil {
+		fp = &FuncProfile{Name: name, lines: make(map[int32]*[NumCategories]uint64)}
+		p.byName[name] = fp
+	}
+	return fp
+}
+
+// Note records one executed instruction. Hot path: called once per
+// dynamic instruction when attached.
+func (p *Profiler) Note(fn *ir.Func, in *ir.Instr) {
+	if p == nil {
+		return
+	}
+	fp := p.lastFP
+	if p.lastFn != fn {
+		fp = p.funcs[fn]
+		if fp == nil {
+			fp = p.funcProfile(fn.Name)
+			p.funcs[fn] = fp
+		}
+		p.lastFn, p.lastFP = fn, fp
+	}
+	c := Classify(in)
+	fp.Counts[c]++
+	lc := fp.lines[in.Line]
+	if lc == nil {
+		lc = new([NumCategories]uint64)
+		fp.lines[in.Line] = lc
+	}
+	lc[c]++
+}
+
+// Merge folds another profiler's counts into p, keyed by function
+// name.
+func (p *Profiler) Merge(q *Profiler) {
+	if p == nil || q == nil {
+		return
+	}
+	for _, qf := range q.byName {
+		fp := p.funcProfile(qf.Name)
+		for c, n := range qf.Counts {
+			fp.Counts[c] += n
+		}
+		for ln, qc := range qf.lines {
+			lc := fp.lines[ln]
+			if lc == nil {
+				lc = new([NumCategories]uint64)
+				fp.lines[ln] = lc
+			}
+			for c, n := range qc {
+				lc[c] += n
+			}
+		}
+	}
+}
+
+// Summary returns the whole-program category totals.
+func (p *Profiler) Summary() ProfileSummary {
+	var s ProfileSummary
+	if p == nil {
+		return s
+	}
+	for _, fp := range p.byName {
+		for c, n := range fp.Counts {
+			s = s.add(Category(c), n)
+		}
+	}
+	return s
+}
+
+// Funcs returns per-function profiles sorted by total count
+// descending (name-ascending tiebreak for determinism).
+func (p *Profiler) Funcs() []*FuncProfile {
+	if p == nil {
+		return nil
+	}
+	out := make([]*FuncProfile, 0, len(p.byName))
+	for _, fp := range p.byName {
+		out = append(out, fp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ti, tj := out[i].Total(), out[j].Total()
+		if ti != tj {
+			return ti > tj
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Folded renders the profile as pprof-style folded stacks, one
+// "frame;frame count" line per cell, suitable for flame-graph
+// tooling (inferno, speedscope, pprof -raw converters). With byLine,
+// each source line is its own frame ("L<n>"; "L?" for unattributed
+// instructions).
+func (p *Profiler) Folded(byLine bool) string {
+	var b bytes.Buffer
+	for _, fp := range p.Funcs() {
+		if !byLine {
+			for c, n := range fp.Counts {
+				if n > 0 {
+					fmt.Fprintf(&b, "%s;%s %d\n", fp.Name, Category(c), n)
+				}
+			}
+			continue
+		}
+		for _, lp := range fp.Lines() {
+			frame := "L?"
+			if lp.Line > 0 {
+				frame = fmt.Sprintf("L%d", lp.Line)
+			}
+			for c, n := range lp.Counts {
+				if n > 0 {
+					fmt.Fprintf(&b, "%s;%s;%s %d\n", fp.Name, frame, Category(c), n)
+				}
+			}
+		}
+	}
+	return b.String()
+}
+
+// Report renders a sorted text table: whole-program totals, then a
+// per-function breakdown, then the hottest source lines.
+func (p *Profiler) Report() string {
+	var b bytes.Buffer
+	s := p.Summary()
+	fmt.Fprintf(&b, "hardening profile: %d dynamic instructions\n", s.Total)
+	pct := func(n uint64) float64 {
+		if s.Total == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(s.Total)
+	}
+	fmt.Fprintf(&b, "  master %12d  %5.1f%%\n", s.Master, pct(s.Master))
+	fmt.Fprintf(&b, "  shadow %12d  %5.1f%%\n", s.Shadow, pct(s.Shadow))
+	fmt.Fprintf(&b, "  check  %12d  %5.1f%%\n", s.Check, pct(s.Check))
+	fmt.Fprintf(&b, "  tx     %12d  %5.1f%%\n", s.Tx, pct(s.Tx))
+	fmt.Fprintf(&b, "\n%-24s %12s %12s %12s %12s %12s\n",
+		"function", "total", "master", "shadow", "check", "tx")
+	for _, fp := range p.Funcs() {
+		fmt.Fprintf(&b, "%-24s %12d %12d %12d %12d %12d\n", fp.Name,
+			fp.Total(), fp.Counts[CatMaster], fp.Counts[CatShadow],
+			fp.Counts[CatCheck], fp.Counts[CatTx])
+	}
+	type hot struct {
+		fn    string
+		lp    LineProfile
+		total uint64
+	}
+	var hots []hot
+	for _, fp := range p.Funcs() {
+		for _, lp := range fp.Lines() {
+			var t uint64
+			for _, n := range lp.Counts {
+				t += n
+			}
+			hots = append(hots, hot{fp.Name, lp, t})
+		}
+	}
+	sort.Slice(hots, func(i, j int) bool {
+		if hots[i].total != hots[j].total {
+			return hots[i].total > hots[j].total
+		}
+		if hots[i].fn != hots[j].fn {
+			return hots[i].fn < hots[j].fn
+		}
+		return hots[i].lp.Line < hots[j].lp.Line
+	})
+	if len(hots) > 10 {
+		hots = hots[:10]
+	}
+	fmt.Fprintf(&b, "\nhottest source lines:\n")
+	for _, h := range hots {
+		loc := "L?"
+		if h.lp.Line > 0 {
+			loc = fmt.Sprintf("L%d", h.lp.Line)
+		}
+		fmt.Fprintf(&b, "  %-20s %-6s %12d  (m %d / s %d / c %d / t %d)\n",
+			h.fn, loc, h.total, h.lp.Counts[CatMaster], h.lp.Counts[CatShadow],
+			h.lp.Counts[CatCheck], h.lp.Counts[CatTx])
+	}
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Registry is a minimal metric registry rendering Prometheus text
+// exposition format (version 0.0.4). It exists so the debug
+// endpoints need no external client library: families are declared
+// with a type and help string, samples are keyed by a pre-rendered
+// label string (`model="reg",flow="any"`), and WriteProm emits
+// everything deterministically sorted.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+type family struct {
+	typ, help string
+	samples   map[string]float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Declare registers a metric family. typ is "counter" or "gauge".
+// Declaring twice updates the help text.
+func (r *Registry) Declare(name, typ, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{samples: make(map[string]float64)}
+		r.families[name] = f
+	}
+	f.typ, f.help = typ, help
+}
+
+// Set stores a sample. labels is a pre-rendered Prometheus label body
+// (`model="reg"`) or "" for an unlabeled metric. Undeclared families
+// are implicitly declared as gauges.
+func (r *Registry) Set(name, labels string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sampleLocked(name, labels, v, false)
+}
+
+// Add accumulates into a sample (for counter-style updates).
+func (r *Registry) Add(name, labels string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sampleLocked(name, labels, v, true)
+}
+
+func (r *Registry) sampleLocked(name, labels string, v float64, add bool) {
+	f := r.families[name]
+	if f == nil {
+		f = &family{typ: "gauge", samples: make(map[string]float64)}
+		r.families[name] = f
+	}
+	if add {
+		f.samples[labels] += v
+	} else {
+		f.samples[labels] = v
+	}
+}
+
+// WriteProm renders the registry in Prometheus text exposition
+// format, families and samples sorted for reproducible scrapes.
+func (r *Registry) WriteProm(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := r.families[n]
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", n, f.help)
+		}
+		if f.typ != "" {
+			fmt.Fprintf(w, "# TYPE %s %s\n", n, f.typ)
+		}
+		keys := make([]string, 0, len(f.samples))
+		for k := range f.samples {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			v := strconv.FormatFloat(f.samples[k], 'g', -1, 64)
+			if k == "" {
+				fmt.Fprintf(w, "%s %s\n", n, v)
+			} else {
+				fmt.Fprintf(w, "%s{%s} %s\n", n, k, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryWriteProm(t *testing.T) {
+	r := NewRegistry()
+	r.Declare("haft_runs", "counter", "runs so far")
+	r.Add("haft_runs", `model="reg"`, 3)
+	r.Add("haft_runs", `model="reg"`, 2)
+	r.Set("haft_moe", `model="mem"`, 0.125)
+	r.Set("haft_up", "", 1)
+	var b strings.Builder
+	r.WriteProm(&b)
+	got := b.String()
+	want := `# TYPE haft_moe gauge
+haft_moe{model="mem"} 0.125
+# HELP haft_runs runs so far
+# TYPE haft_runs counter
+haft_runs{model="reg"} 5
+# TYPE haft_up gauge
+haft_up 1
+`
+	if got != want {
+		t.Fatalf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRegistryDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Set("zz", `b="2"`, 2)
+	r.Set("zz", `a="1"`, 1)
+	r.Set("aa", "", 0)
+	var b1, b2 strings.Builder
+	r.WriteProm(&b1)
+	r.WriteProm(&b2)
+	if b1.String() != b2.String() {
+		t.Fatalf("two scrapes differ")
+	}
+	if !strings.HasPrefix(b1.String(), "# TYPE aa gauge") {
+		t.Fatalf("families not sorted:\n%s", b1.String())
+	}
+	lines := strings.Split(strings.TrimSpace(b1.String()), "\n")
+	var zz []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "zz{") {
+			zz = append(zz, l)
+		}
+	}
+	if len(zz) != 2 || !strings.HasPrefix(zz[0], `zz{a=`) {
+		t.Fatalf("samples not sorted: %v", zz)
+	}
+}
+
+func TestRegistryNilIsNoop(t *testing.T) {
+	var r *Registry
+	r.Declare("x", "gauge", "")
+	r.Set("x", "", 1)
+	r.Add("x", "", 1)
+	var b strings.Builder
+	r.WriteProm(&b)
+	if b.String() != "" {
+		t.Fatalf("nil registry wrote %q", b.String())
+	}
+}

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Ring is a fixed-size lock-free ring buffer of events. Writers claim
+// a slot with a single atomic fetch-add and publish it with a per-slot
+// sequence word (seqlock style); when the buffer is full the oldest
+// events are overwritten. Readers (Snapshot) never block writers: a
+// slot whose sequence word changes mid-read is simply discarded, so a
+// snapshot is a consistent *sample* of recent history, not a barrier.
+//
+// Overwrite semantics: the ring retains the most recent Cap() events;
+// Dropped() counts how many older ones were overwritten. In the
+// pathological case of the ring wrapping entirely during one
+// concurrent write, a slot can publish with a mixed payload — readers
+// bound-check interned label ids, so the worst outcome is one
+// misattributed event in a snapshot, never a crash or a lock.
+//
+// All shared state is manipulated with sync/atomic, so the ring is
+// race-detector-clean under arbitrary writer/reader concurrency.
+type Ring struct {
+	// Now supplies timestamps for wall-domain events. It defaults to
+	// nanoseconds since ring creation; tests replace it with a logical
+	// counter so exported traces carry no real timestamps. Set it
+	// before the ring is shared across goroutines.
+	Now func() uint64
+
+	mask  uint64
+	head  atomic.Uint64 // next ticket to hand out
+	slots []slot
+	names nameTable
+}
+
+// slot payload words: [0] kind/domain/actor, [1] time, [2] a, [3] b,
+// [4] label id.
+type slot struct {
+	seq atomic.Uint64
+	w   [5]atomic.Uint64
+}
+
+// NewRing returns a ring retaining the most recent `size` events
+// (rounded up to a power of two, minimum 16).
+func NewRing(size int) *Ring {
+	n := 16
+	for n < size {
+		n <<= 1
+	}
+	r := &Ring{mask: uint64(n - 1), slots: make([]slot, n)}
+	start := time.Now()
+	r.Now = func() uint64 { return uint64(time.Since(start)) }
+	r.names.init()
+	return r
+}
+
+// Cap returns the number of events the ring retains.
+func (r *Ring) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.slots)
+}
+
+// Total returns how many events have ever been emitted.
+func (r *Ring) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.head.Load()
+}
+
+// Dropped returns how many events have been overwritten.
+func (r *Ring) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	if t, c := r.head.Load(), uint64(len(r.slots)); t > c {
+		return t - c
+	}
+	return 0
+}
+
+// Intern maps a label string to a stable id for hot-path emitters.
+func (r *Ring) Intern(s string) uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.names.intern(s)
+}
+
+// LabelFor resolves an interned label id (the inverse of Intern).
+func (r *Ring) LabelFor(id uint64) string {
+	if r == nil {
+		return ""
+	}
+	return r.names.lookup(id)
+}
+
+// Emit records an event. Safe for concurrent use; a nil ring is a
+// no-op, which is how instrumented code stays free when tracing is
+// off.
+func (r *Ring) Emit(ev Event) {
+	if r == nil {
+		return
+	}
+	id := ev.LabelID
+	if ev.Label != "" {
+		id = r.names.intern(ev.Label)
+	}
+	t := r.head.Add(1) - 1
+	s := &r.slots[t&r.mask]
+	pub := (t + 1) << 1
+	s.seq.Store(pub | 1) // mark busy: readers skip odd sequences
+	s.w[0].Store(uint64(uint32(ev.Actor)) | uint64(ev.Kind)<<32 | uint64(ev.Domain)<<40)
+	s.w[1].Store(ev.Time)
+	s.w[2].Store(ev.A)
+	s.w[3].Store(ev.B)
+	s.w[4].Store(id)
+	s.seq.Store(pub)
+}
+
+// Snapshot returns the currently retained events in emission order.
+func (r *Ring) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	evs := make([]Event, 0, len(r.slots))
+	for i := range r.slots {
+		s := &r.slots[i]
+		v1 := s.seq.Load()
+		if v1 == 0 || v1&1 == 1 {
+			continue // empty or mid-write
+		}
+		var w [5]uint64
+		for j := range w {
+			w[j] = s.w[j].Load()
+		}
+		if s.seq.Load() != v1 {
+			continue // torn: overwritten while reading
+		}
+		k := Kind(w[0] >> 32 & 0xff)
+		if k >= numKinds {
+			continue
+		}
+		evs = append(evs, Event{
+			Seq:     v1>>1 - 1,
+			Kind:    k,
+			Domain:  Domain(w[0] >> 40 & 0xff),
+			Actor:   int32(uint32(w[0])),
+			Time:    w[1],
+			A:       w[2],
+			B:       w[3],
+			LabelID: w[4],
+			Label:   r.names.lookup(w[4]),
+		})
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })
+	return evs
+}
+
+// Reset discards all retained events. Not safe to call concurrently
+// with Emit; meant for tests and between-run reuse.
+func (r *Ring) Reset() {
+	if r == nil {
+		return
+	}
+	r.head.Store(0)
+	for i := range r.slots {
+		r.slots[i].seq.Store(0)
+	}
+}
+
+// nameTable interns label strings to dense ids. Id 0 is the empty
+// string. Lookups on the read side are lock-free via a copy-on-write
+// slice.
+type nameTable struct {
+	ids   sync.Map // string -> uint64
+	mu    sync.Mutex
+	names atomic.Pointer[[]string]
+}
+
+func (t *nameTable) init() {
+	base := []string{""}
+	t.names.Store(&base)
+	t.ids.Store("", uint64(0))
+}
+
+func (t *nameTable) intern(s string) uint64 {
+	if v, ok := t.ids.Load(s); ok {
+		return v.(uint64)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if v, ok := t.ids.Load(s); ok {
+		return v.(uint64)
+	}
+	old := *t.names.Load()
+	id := uint64(len(old))
+	next := make([]string, len(old)+1)
+	copy(next, old)
+	next[id] = s
+	t.names.Store(&next)
+	t.ids.Store(s, id)
+	return id
+}
+
+func (t *nameTable) lookup(id uint64) string {
+	names := *t.names.Load()
+	if id < uint64(len(names)) {
+		return names[id]
+	}
+	return ""
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingBasics(t *testing.T) {
+	r := NewRing(64)
+	if r.Cap() != 64 {
+		t.Fatalf("Cap = %d, want 64", r.Cap())
+	}
+	r.Emit(Event{Kind: KindTxBegin, Actor: 3, Time: 100})
+	r.Emit(Event{Kind: KindTxAbort, Actor: 3, Time: 250, Label: "conflict"})
+	r.Emit(Event{Kind: KindFault, Actor: -1, Time: 999, A: 42, Label: "f/entry add"})
+	evs := r.Snapshot()
+	if len(evs) != 3 {
+		t.Fatalf("snapshot has %d events, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i) {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+	if evs[1].Kind != KindTxAbort || evs[1].Label != "conflict" || evs[1].Time != 250 {
+		t.Fatalf("abort event mangled: %+v", evs[1])
+	}
+	if evs[2].Actor != -1 || evs[2].A != 42 || evs[2].Label != "f/entry add" {
+		t.Fatalf("fault event mangled: %+v", evs[2])
+	}
+	if r.Total() != 3 || r.Dropped() != 0 {
+		t.Fatalf("total=%d dropped=%d", r.Total(), r.Dropped())
+	}
+}
+
+func TestRingRoundsUpAndOverwrites(t *testing.T) {
+	r := NewRing(10) // rounds up to 16
+	if r.Cap() != 16 {
+		t.Fatalf("Cap = %d, want 16", r.Cap())
+	}
+	for i := 0; i < 40; i++ {
+		r.Emit(Event{Kind: KindRequest, A: uint64(i), Time: uint64(i)})
+	}
+	evs := r.Snapshot()
+	if len(evs) != 16 {
+		t.Fatalf("snapshot has %d events, want 16", len(evs))
+	}
+	// Overwrite-oldest: only the newest 16 survive, in order.
+	for i, ev := range evs {
+		if want := uint64(24 + i); ev.A != want || ev.Seq != want {
+			t.Fatalf("event %d = seq %d A %d, want %d", i, ev.Seq, ev.A, want)
+		}
+	}
+	if r.Dropped() != 24 {
+		t.Fatalf("Dropped = %d, want 24", r.Dropped())
+	}
+	r.Reset()
+	if len(r.Snapshot()) != 0 || r.Total() != 0 {
+		t.Fatalf("reset left state behind")
+	}
+}
+
+func TestRingNilIsNoop(t *testing.T) {
+	var r *Ring
+	r.Emit(Event{Kind: KindTxBegin}) // must not panic
+	if r.Snapshot() != nil || r.Cap() != 0 || r.Total() != 0 || r.Intern("x") != 0 {
+		t.Fatalf("nil ring should be inert")
+	}
+}
+
+func TestRingIntern(t *testing.T) {
+	r := NewRing(16)
+	id := r.Intern("site-a")
+	if id == 0 {
+		t.Fatalf("interned id should be nonzero")
+	}
+	if again := r.Intern("site-a"); again != id {
+		t.Fatalf("intern not stable: %d vs %d", id, again)
+	}
+	if got := r.LabelFor(id); got != "site-a" {
+		t.Fatalf("LabelFor = %q", got)
+	}
+	r.Emit(Event{Kind: KindDetect, LabelID: id})
+	evs := r.Snapshot()
+	if len(evs) != 1 || evs[0].Label != "site-a" {
+		t.Fatalf("pre-interned label not resolved: %+v", evs)
+	}
+}
+
+// TestRingConcurrent hammers one ring from many writers while readers
+// snapshot; meaningful mainly under -race (the CI run) but also
+// asserts no event is mangled into an out-of-range kind.
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(256)
+	const writers, per = 8, 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Emit(Event{
+					Kind: Kind(uint8(i) % uint8(numKinds)), Actor: int32(w),
+					Time: uint64(i), A: uint64(w), B: uint64(i),
+					Label: "w",
+				})
+			}
+		}(w)
+	}
+	var readers sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, ev := range r.Snapshot() {
+					if ev.Kind >= numKinds {
+						t.Errorf("impossible kind %d", ev.Kind)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if r.Total() != writers*per {
+		t.Fatalf("Total = %d, want %d", r.Total(), writers*per)
+	}
+	if got := len(r.Snapshot()); got != r.Cap() {
+		t.Fatalf("full ring snapshot has %d events, want %d", got, r.Cap())
+	}
+}

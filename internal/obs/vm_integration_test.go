@@ -1,0 +1,223 @@
+// Integration tests against the real pipeline: harden a program, run
+// it on the simulated machine, and check that the tracer and profiler
+// observe without perturbing. Lives in the external test package so it
+// can import vm/core (which import obs).
+package obs_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/obs"
+	"repro/internal/vm"
+)
+
+const profSrc = `
+global acc bytes=8
+func main(0) {
+entry:
+  jmp loop
+loop:
+  v0 = phi #0 [entry], v3 [loop]
+  v1 = mul v0, #3
+  v2 = load #4096
+  v4 = add v2, v1
+  store #4096, v4
+  v3 = add v0, #1
+  v5 = cmp lt v3, #200
+  br v5, loop, done
+done:
+  v6 = load #4096
+  out v6
+  ret
+}
+`
+
+func buildModule(t *testing.T, cfg core.Config) *ir.Module {
+	t.Helper()
+	m, err := ir.Parse(profSrc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	cfg.TxThreshold = 64
+	mod, _, err := core.HardenWithStats(m, cfg)
+	if err != nil {
+		t.Fatalf("harden: %v", err)
+	}
+	return mod
+}
+
+func quietCfg() vm.Config {
+	cfg := vm.DefaultConfig()
+	cfg.HTM.SpontaneousPerAccessMicro = 0
+	cfg.HTM.InterruptPeriod = 0
+	cfg.HTM.MaxCycles = 0
+	return cfg
+}
+
+// TestProfilerTotalsMatchDynInstrs is the core accounting invariant:
+// the four categories sum to Total, and Total equals the machine's own
+// DynInstrs counter — so per-category numbers can be embedded in
+// BENCH_overhead.json and still sum to its aggregates.
+func TestProfilerTotalsMatchDynInstrs(t *testing.T) {
+	mod := buildModule(t, core.DefaultConfig())
+	mach := vm.New(mod, 1, quietCfg())
+	prof := obs.NewProfiler()
+	mach.SetProfiler(prof)
+	if st := mach.Run(vm.ThreadSpec{Func: "main"}); st != vm.StatusOK {
+		t.Fatalf("run: %v (%s)", st, mach.Stats().CrashReason)
+	}
+	s := prof.Summary()
+	if s.Total != mach.Stats().DynInstrs {
+		t.Fatalf("profiler total %d != DynInstrs %d", s.Total, mach.Stats().DynInstrs)
+	}
+	if sum := s.Master + s.Shadow + s.Check + s.Tx; sum != s.Total {
+		t.Fatalf("categories sum to %d, total is %d", sum, s.Total)
+	}
+	if s.Shadow == 0 || s.Check == 0 || s.Tx == 0 {
+		t.Fatalf("hardened run should touch every category: %+v", s)
+	}
+	// Line attribution: the textual parser stamps source lines, so the
+	// hot loop must show up on concrete lines, not just line 0.
+	var attributed bool
+	for _, fp := range prof.Funcs() {
+		for _, lp := range fp.Lines() {
+			if lp.Line > 0 {
+				attributed = true
+			}
+		}
+	}
+	if !attributed {
+		t.Fatalf("no instruction carried a source line")
+	}
+	if rep := prof.Report(); len(rep) == 0 {
+		t.Fatalf("empty report")
+	}
+	if folded := prof.Folded(true); len(folded) == 0 {
+		t.Fatalf("empty folded output")
+	}
+}
+
+// TestNativeProfilesAsPureMaster: an unhardened run has no shadow,
+// check or tx work by definition.
+func TestNativeProfilesAsPureMaster(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Mode = core.ModeNative
+	mod := buildModule(t, cfg)
+	mach := vm.New(mod, 1, quietCfg())
+	prof := obs.NewProfiler()
+	mach.SetProfiler(prof)
+	if st := mach.Run(vm.ThreadSpec{Func: "main"}); st != vm.StatusOK {
+		t.Fatalf("run: %v", st)
+	}
+	s := prof.Summary()
+	if s.Master != s.Total || s.Shadow+s.Check+s.Tx != 0 {
+		t.Fatalf("native run not pure master: %+v", s)
+	}
+}
+
+// TestObservationDoesNotPerturb: attaching ring and profiler must not
+// change status, output, instruction count or timing.
+func TestObservationDoesNotPerturb(t *testing.T) {
+	mod := buildModule(t, core.DefaultConfig())
+
+	plain := vm.New(mod.Clone(), 1, quietCfg())
+	plain.Run(vm.ThreadSpec{Func: "main"})
+
+	observed := vm.New(mod.Clone(), 1, quietCfg())
+	observed.SetObsRing(obs.NewRing(4096))
+	observed.SetProfiler(obs.NewProfiler())
+	observed.Run(vm.ThreadSpec{Func: "main"})
+
+	if plain.Status() != observed.Status() {
+		t.Fatalf("status diverged: %v vs %v", plain.Status(), observed.Status())
+	}
+	if !reflect.DeepEqual(plain.Output(), observed.Output()) {
+		t.Fatalf("output diverged: %v vs %v", plain.Output(), observed.Output())
+	}
+	ps, os := plain.Stats(), observed.Stats()
+	if ps.DynInstrs != os.DynInstrs || ps.Cycles != os.Cycles {
+		t.Fatalf("stats diverged: %d/%d instrs, %d/%d cycles",
+			ps.DynInstrs, os.DynInstrs, ps.Cycles, os.Cycles)
+	}
+}
+
+// TestVMEmitsTxLifecycle: a hardened run emits begin/commit pairs into
+// the ring in the VM time domain.
+func TestVMEmitsTxLifecycle(t *testing.T) {
+	mod := buildModule(t, core.DefaultConfig())
+	mach := vm.New(mod, 1, quietCfg())
+	ring := obs.NewRing(8192)
+	mach.SetObsRing(ring)
+	if st := mach.Run(vm.ThreadSpec{Func: "main"}); st != vm.StatusOK {
+		t.Fatalf("run: %v", st)
+	}
+	var begins, commits int
+	for _, ev := range ring.Snapshot() {
+		if ev.Domain != obs.DomainVM {
+			t.Fatalf("vm event in wrong domain: %+v", ev)
+		}
+		switch ev.Kind {
+		case obs.KindTxBegin:
+			begins++
+		case obs.KindTxCommit:
+			commits++
+		}
+	}
+	if begins == 0 || commits == 0 {
+		t.Fatalf("expected tx lifecycle events, got begins=%d commits=%d", begins, commits)
+	}
+}
+
+// TestRingSharedAcrossVMWorkers hammers one ring from several machines
+// running concurrently on distinct actor bases — the serve-pool
+// configuration — while a reader snapshots. Run under -race in CI.
+func TestRingSharedAcrossVMWorkers(t *testing.T) {
+	mod := buildModule(t, core.DefaultConfig())
+	ring := obs.NewRing(1024)
+	const workers = 6
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				ring.Snapshot()
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mach := vm.New(mod.Clone(), 1, quietCfg())
+			mach.SetObsRing(ring)
+			mach.SetObsActorBase(int32(w) * 16)
+			if st := mach.Run(vm.ThreadSpec{Func: "main"}); st != vm.StatusOK {
+				t.Errorf("worker %d: %v", w, st)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if ring.Total() == 0 {
+		t.Fatalf("no events emitted")
+	}
+	// Actor bases keep workers distinguishable in the shared ring.
+	actors := map[int32]bool{}
+	for _, ev := range ring.Snapshot() {
+		actors[ev.Actor/16] = true
+	}
+	if len(actors) < 2 {
+		t.Fatalf("events from %d worker(s), want several", len(actors))
+	}
+}

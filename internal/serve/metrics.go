@@ -3,8 +3,10 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/bits"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -20,12 +22,24 @@ const histBucketsPerOctave = 4
 // maxHistBuckets covers latencies up to 2^63 ns.
 const maxHistBuckets = 64 * histBucketsPerOctave
 
-// latencyHist is a log-scaled histogram of request latencies.
+// reservoirSize bounds the sliding window of raw latency samples kept
+// for exact percentiles (the histogram's ~25% bucket resolution is too
+// coarse for tail reporting).
+const reservoirSize = 1024
+
+// latencyHist is a log-scaled histogram of request latencies plus a
+// bounded reservoir of the most recent raw samples.
 type latencyHist struct {
 	counts [maxHistBuckets]uint64
 	total  uint64
 	sum    time.Duration
 	max    time.Duration
+	// samples is a sliding-window ring of the last reservoirSize
+	// latencies in nanoseconds. Once nseen wraps past the capacity the
+	// ring is NOT in insertion order, and even before that samples
+	// arrive unsorted — percentile() must always sort its snapshot.
+	samples []int64
+	nseen   uint64
 }
 
 func histBucket(d time.Duration) int {
@@ -58,13 +72,38 @@ func (h *latencyHist) observe(d time.Duration) {
 	if d > h.max {
 		h.max = d
 	}
+	if len(h.samples) < reservoirSize {
+		h.samples = append(h.samples, int64(d))
+	} else {
+		h.samples[h.nseen%reservoirSize] = int64(d)
+	}
+	h.nseen++
 }
 
-// percentile returns the q-th (0..1) latency percentile in seconds.
+// percentile returns the q-th (0..1) latency percentile in seconds,
+// computed from the sample reservoir. The reservoir is a wrapping
+// ring, so the snapshot is unsorted whenever it has wrapped (and
+// usually before): sort defensively every time rather than assuming
+// insertion order survived.
 func (h *latencyHist) percentile(q float64) float64 {
 	if h.total == 0 {
 		return 0
 	}
+	if len(h.samples) == 0 {
+		return h.bucketPercentile(q)
+	}
+	snap := append([]int64(nil), h.samples...)
+	sort.Slice(snap, func(i, j int) bool { return snap[i] < snap[j] })
+	idx := int(q * float64(len(snap)))
+	if idx >= len(snap) {
+		idx = len(snap) - 1
+	}
+	return float64(snap[idx]) / 1e9
+}
+
+// bucketPercentile is the histogram-resolution fallback (exact to
+// ~25%), used only when no raw samples exist.
+func (h *latencyHist) bucketPercentile(q float64) float64 {
 	want := uint64(q * float64(h.total))
 	if want >= h.total {
 		want = h.total - 1
@@ -336,6 +375,82 @@ func (s Snapshot) Summary() string {
 	t.AddF(0, "queue depth", s.QueueDepth)
 	t.Add("pool occupancy", fmt.Sprintf("%d/%d", s.PoolBusy, s.PoolSize))
 	return t.String()
+}
+
+// WriteProm renders the registry in Prometheus text exposition format
+// (the serve half of the `-debug-addr` /metrics endpoint). Counter
+// families are sorted and label values escaped-free (status/cause
+// names are identifiers), so scrapes are deterministic for a given
+// state.
+func (m *Metrics) WriteProm(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP haft_serve_%s %s\n# TYPE haft_serve_%s counter\nhaft_serve_%s %d\n",
+			name, help, name, name, v)
+	}
+	g := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP haft_serve_%s %s\n# TYPE haft_serve_%s gauge\nhaft_serve_%s %s\n",
+			name, help, name, name, strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	labeled := func(name, help, label string, vals map[string]uint64) {
+		fmt.Fprintf(w, "# HELP haft_serve_%s %s\n# TYPE haft_serve_%s counter\n", name, help, name)
+		keys := make([]string, 0, len(vals))
+		for k := range vals {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "haft_serve_%s{%s=%q} %d\n", name, label, k, vals[k])
+		}
+	}
+	c("requests_total", "requests submitted", m.requests)
+	c("responses_total", "responses delivered", m.responses)
+	c("failed_total", "requests failed after retries", m.failed)
+	c("rejected_total", "requests rejected by backpressure", m.rejected)
+	c("retries_total", "request retries", m.retries)
+	c("runs_total", "VM batch runs", m.runs)
+	c("faulted_runs_total", "VM runs ending in a non-ok status", m.faultedRuns)
+	labeled("run_status_total", "VM runs by final status", "status", m.runStatus)
+	c("quarantines_total", "instance quarantines", m.quarantines)
+	c("rebuilds_total", "instance machine rebuilds", m.rebuilds)
+	labeled("chaos_events_total", "chaos-layer events", "kind", m.chaos)
+	c("deadline_failures_total", "requests failed on deadline", m.deadlines)
+	c("injected_faults_total", "SEU campaign injections", m.injected)
+	c("corrected_faults_total", "faults absorbed by tx rollback", m.corrected)
+	c("verify_rejects_total", "corrupted replies caught by verification", m.verifyRejects)
+	c("corrupted_replies_total", "corrupted replies delivered", m.corrupted)
+	c("tx_started_total", "hardware transactions started", m.txStarted)
+	c("tx_committed_total", "hardware transactions committed", m.txCommitted)
+	c("fallback_runs_total", "non-transactional fallback runs", m.fallbacks)
+	labeled("tx_aborts_total", "transaction aborts by cause", "cause", m.aborts)
+	g("latency_p50_seconds", "median request latency", m.hist.percentile(0.50))
+	g("latency_p95_seconds", "95th percentile request latency", m.hist.percentile(0.95))
+	g("latency_p99_seconds", "99th percentile request latency", m.hist.percentile(0.99))
+	g("latency_max_seconds", "maximum request latency", float64(m.hist.max)/1e9)
+	g("pool_size", "warm pool size", float64(m.poolSize))
+	g("pool_busy", "pool instances currently running a batch", float64(m.poolBusy))
+	if m.queueDepth != nil {
+		g("queue_depth", "requests waiting in the queue", float64(m.queueDepth()))
+	}
+	// The latency histogram as a native Prometheus histogram: only
+	// non-empty buckets are listed (plus +Inf), cumulative as the
+	// format requires.
+	fmt.Fprintf(w, "# HELP haft_serve_latency_seconds request latency distribution\n")
+	fmt.Fprintf(w, "# TYPE haft_serve_latency_seconds histogram\n")
+	var cum uint64
+	for b, n := range m.hist.counts {
+		if n == 0 {
+			continue
+		}
+		cum += n
+		fmt.Fprintf(w, "haft_serve_latency_seconds_bucket{le=%q} %d\n",
+			strconv.FormatFloat(bucketUpper(b)/1e9, 'g', 6, 64), cum)
+	}
+	fmt.Fprintf(w, "haft_serve_latency_seconds_bucket{le=\"+Inf\"} %d\n", m.hist.total)
+	fmt.Fprintf(w, "haft_serve_latency_seconds_sum %s\n",
+		strconv.FormatFloat(m.hist.sum.Seconds(), 'g', -1, 64))
+	fmt.Fprintf(w, "haft_serve_latency_seconds_count %d\n", m.hist.total)
 }
 
 func mapLine(m map[string]uint64) string {

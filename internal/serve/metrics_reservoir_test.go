@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPercentileAfterReservoirWrap is the regression test for the
+// wrapped-reservoir bug: once more than reservoirSize samples arrive,
+// the sliding-window ring is no longer in insertion order, so
+// percentiles computed from an unsorted snapshot were garbage. The
+// percentile must always sort its snapshot.
+func TestPercentileAfterReservoirWrap(t *testing.T) {
+	var h latencyHist
+	// 1500 monotonically increasing latencies: after the wrap the ring
+	// holds ms 1025..1500 in slots 0..475 followed by ms 477..1024 in
+	// slots 476..1023 — maximally out of order for an ascending stream.
+	for ms := 1; ms <= 1500; ms++ {
+		h.observe(time.Duration(ms) * time.Millisecond)
+	}
+	// The window is exactly ms 477..1500; with a sorted snapshot the
+	// percentiles are exact.
+	wantMs := func(q float64) float64 {
+		idx := int(q * float64(reservoirSize))
+		if idx >= reservoirSize {
+			idx = reservoirSize - 1
+		}
+		return float64(int64(477+idx)*int64(time.Millisecond)) / 1e9
+	}
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got, want := h.percentile(q), wantMs(q); got != want {
+			t.Fatalf("p%g = %gs, want %gs (unsorted reservoir?)", 100*q, got, want)
+		}
+	}
+	if p50, p99 := h.percentile(0.5), h.percentile(0.99); p50 > p99 {
+		t.Fatalf("p50 %g > p99 %g: percentiles not monotonic", p50, p99)
+	}
+}
+
+// TestPercentileBeforeWrap: a partially filled reservoir still sorts
+// (samples arrive unsorted even before wrapping).
+func TestPercentileBeforeWrap(t *testing.T) {
+	var h latencyHist
+	for _, ms := range []int{900, 100, 500, 300, 700} {
+		h.observe(time.Duration(ms) * time.Millisecond)
+	}
+	if got := h.percentile(0.5); got != 0.5 {
+		t.Fatalf("p50 = %gs, want 0.5s", got)
+	}
+	if got := h.percentile(0); got != 0.1 {
+		t.Fatalf("p0 = %gs, want 0.1s", got)
+	}
+}
+
+// TestHistogramFallback: with no raw samples the bucket approximation
+// still answers (upper bound of the bucket holding the quantile).
+func TestHistogramFallback(t *testing.T) {
+	var h latencyHist
+	h.counts[histBucket(time.Millisecond)] = 10
+	h.total = 10
+	if got := h.percentile(0.5); got <= 0 {
+		t.Fatalf("fallback percentile = %g, want > 0", got)
+	}
+}
+
+// TestWritePromExposition: the Prometheus rendering is parseable and
+// carries the histogram invariants (cumulative buckets, +Inf == count).
+func TestWritePromExposition(t *testing.T) {
+	m := newMetrics(4, func() int { return 2 })
+	m.hist.observe(3 * time.Millisecond)
+	m.hist.observe(5 * time.Millisecond)
+	m.requests = 2
+	m.responses = 2
+	var b strings.Builder
+	m.WriteProm(&b)
+	out := b.String()
+	for _, want := range []string{
+		"haft_serve_requests_total 2",
+		"haft_serve_latency_seconds_count 2",
+		`haft_serve_latency_seconds_bucket{le="+Inf"} 2`,
+		"haft_serve_pool_size 4",
+		"haft_serve_queue_depth 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -32,11 +32,15 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/vm"
 	"repro/internal/workloads"
 )
@@ -82,6 +86,10 @@ type Config struct {
 	Verify bool
 	// Seed feeds the injection RNGs.
 	Seed int64
+	// TraceDepth sizes the observability ring buffer (events
+	// retained; default 8192). The tracer is always on — it is
+	// lock-free and bounded — and feeds the /trace debug endpoint.
+	TraceDepth int
 }
 
 // ChaosConfig parameterizes the chaos layer: per-batch-run
@@ -146,6 +154,7 @@ var ErrDeadline = errors.New("serve: request deadline exceeded")
 
 // item is one queued request with its completion channel.
 type item struct {
+	id       uint64 // request id, for event correlation
 	word     uint64
 	retries  int
 	exclude  int // instance id that last faulted on it (-1: none)
@@ -182,6 +191,8 @@ type Server struct {
 	prog    *workloads.Program
 	queue   chan *item
 	metrics *Metrics
+	ring    *obs.Ring
+	reqID   atomic.Uint64
 	closed  chan struct{}
 	once    sync.Once
 	wg      sync.WaitGroup
@@ -257,9 +268,13 @@ func NewServer(cfg Config) (*Server, error) {
 	hp := *prog
 	hp.Module = mod
 
+	if cfg.TraceDepth <= 0 {
+		cfg.TraceDepth = 8192
+	}
 	s := &Server{
 		cfg:    cfg,
 		prog:   &hp,
+		ring:   obs.NewRing(cfg.TraceDepth),
 		closed: make(chan struct{}),
 	}
 	s.mod = moduleSource{prog: &hp, cfg: vm.DefaultConfig()}
@@ -303,6 +318,10 @@ func (s *Server) newInstance(id int) *instance {
 	if s.runBudget > 0 { // still 0 during the calibration run
 		mach.Cfg.MaxDynInstrs = s.runBudget
 	}
+	// All pool machines share the server's ring; actor ids are offset
+	// per instance so VM-domain events stay distinguishable.
+	mach.SetObsRing(s.ring)
+	mach.SetObsActorBase(int32(id+1) * 16)
 	return &instance{
 		id:        id,
 		mach:      mach,
@@ -320,9 +339,21 @@ func (inst *instance) rebuild(s *Server) {
 	inst.generation++
 	fresh := s.mod.newMachine(int64(inst.id) + 1 + int64(inst.generation)*104729)
 	fresh.Cfg.MaxDynInstrs = s.runBudget
+	fresh.SetObsRing(s.ring)
+	fresh.SetObsActorBase(int32(inst.id+1) * 16)
 	inst.mach = fresh
 	inst.consecutiveFaults = 0
 	inst.usedSinceReset = false
+	s.event(obs.Event{Kind: obs.KindQuarantine, Actor: int32(inst.id),
+		A: uint64(inst.generation)})
+}
+
+// event emits a wall-domain serving-layer event into the ring,
+// stamping the ring clock.
+func (s *Server) event(ev obs.Event) {
+	ev.Domain = obs.DomainWall
+	ev.Time = s.ring.Now()
+	s.ring.Emit(ev)
 }
 
 func (s *Server) pokeBatch(inst *instance, words []uint64) {
@@ -419,6 +450,16 @@ func (s *Server) runBatch(inst *instance, batch []*item) {
 	storm := false
 	if c := s.cfg.Chaos; c.active() {
 		r := inst.chaosRng.Float64()
+		if r < c.KillRate+c.HangRate+c.StormRate {
+			kind := "storm"
+			switch {
+			case r < c.KillRate:
+				kind = "kill"
+			case r < c.KillRate+c.HangRate:
+				kind = "hang"
+			}
+			s.event(obs.Event{Kind: obs.KindChaos, Actor: int32(inst.id), Label: kind})
+		}
 		switch {
 		case r < c.KillRate:
 			// Instance dies mid-traffic: no run, no replies; the batch
@@ -519,6 +560,8 @@ func (s *Server) runBatch(inst *instance, batch []*item) {
 			n = 1 // checksum-only mismatch: per-reply checks all passed
 		}
 		s.metrics.verifyReject(n)
+		s.event(obs.Event{Kind: obs.KindVerifyReject, Actor: int32(inst.id),
+			A: uint64(n)})
 		inst.consecutiveFaults++
 		if inst.consecutiveFaults >= s.cfg.QuarantineAfter {
 			s.metrics.quarantine()
@@ -530,7 +573,10 @@ func (s *Server) runBatch(inst *instance, batch []*item) {
 	}
 	now := time.Now()
 	for i, it := range deliverItems {
-		s.metrics.response(now.Sub(it.enqueued))
+		lat := now.Sub(it.enqueued)
+		s.metrics.response(lat)
+		s.event(obs.Event{Kind: obs.KindResponse, Actor: int32(inst.id),
+			A: it.id, B: uint64(lat)})
 		it.done <- result{val: deliverVals[i]}
 	}
 }
@@ -559,6 +605,8 @@ func (s *Server) failOrRetry(inst *instance, batch []*item, cause error) {
 		it.retries++
 		it.exclude = inst.id
 		s.metrics.retry()
+		s.event(obs.Event{Kind: obs.KindRetry, Actor: int32(inst.id),
+			A: uint64(it.retries), Label: "serve"})
 		s.requeue(it, backoff)
 	}
 }
@@ -596,11 +644,13 @@ func (s *Server) submit(req Request, wait bool) (uint64, error) {
 	}
 	s.metrics.request()
 	it := &item{
+		id:       s.reqID.Add(1),
 		word:     workloads.KVRequestWord(req.Write, req.Key, req.Value),
 		exclude:  -1,
 		enqueued: time.Now(),
 		done:     make(chan result, 1),
 	}
+	s.event(obs.Event{Kind: obs.KindRequest, A: it.id})
 	if wait {
 		select {
 		case s.queue <- it:
@@ -694,6 +744,52 @@ func (s *Server) ValueWork() int { return s.cfg.KV.ValueWork }
 
 // Metrics returns a snapshot of the live metrics registry.
 func (s *Server) Metrics() Snapshot { return s.metrics.Snapshot() }
+
+// Ring returns the server's observability ring buffer: every tx
+// begin/commit/abort inside the pool machines plus the serving-layer
+// request lifecycle, retries, quarantines, chaos events and verifier
+// rejects.
+func (s *Server) Ring() *obs.Ring { return s.ring }
+
+// WriteProm renders the live metrics in Prometheus text exposition
+// format.
+func (s *Server) WriteProm(w io.Writer) { s.metrics.WriteProm(w) }
+
+// Health reports the pool/quarantine state for /healthz: healthy
+// means the server is open and at least one instance is serviceable.
+func (s *Server) Health() obs.Health {
+	snap := s.metrics.Snapshot()
+	ok := true
+	select {
+	case <-s.closed:
+		ok = false
+	default:
+	}
+	return obs.Health{
+		OK: ok,
+		Detail: map[string]any{
+			"pool_size":   snap.PoolSize,
+			"pool_busy":   snap.PoolBusy,
+			"queue_depth": snap.QueueDepth,
+			"quarantines": snap.Quarantines,
+			"rebuilds":    snap.Rebuilds,
+			"closed":      !ok,
+		},
+	}
+}
+
+// DebugHandler returns the HTTP debug endpoints for this server:
+// /metrics (Prometheus text exposition), /trace (the ring buffer as
+// Chrome trace JSON), /healthz (pool/quarantine state). haftserve
+// mounts it on -debug-addr; extra metrics writers (e.g. a campaign
+// registry) are appended after the serve metrics.
+func (s *Server) DebugHandler(extra ...func(io.Writer)) http.Handler {
+	return obs.NewHandler(obs.HandlerConfig{
+		Metrics: append([]func(io.Writer){s.metrics.WriteProm}, extra...),
+		Ring:    s.ring,
+		Health:  s.Health,
+	})
+}
 
 // Close shuts the server down: pool workers stop after their current
 // batch, queued requests fail with ErrClosed.

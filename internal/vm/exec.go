@@ -37,6 +37,11 @@ func (m *Machine) step(c *core) {
 		m.checkBreakpoints(c, fr)
 	}
 	m.stats.DynInstrs++
+	if m.prof != nil && in.Op != ir.OpPhi {
+		// Phi groups are attributed in execPhiGroup, one note per phi,
+		// mirroring the DynInstrs accounting exactly.
+		m.prof.Note(fr.fn, in)
+	}
 
 	switch in.Op {
 	case ir.OpPhi:
@@ -249,6 +254,9 @@ func (m *Machine) execPhiGroup(c *core, fr *frame, b *ir.Block) {
 	for i := start; i < end; i++ {
 		in := &b.Instrs[i]
 		m.stats.DynInstrs++
+		if m.prof != nil {
+			m.prof.Note(fr.fn, in)
+		}
 		found := false
 		for k, p := range in.PhiPreds {
 			if p == fr.prevBlk {
@@ -307,6 +315,7 @@ func (m *Machine) execTerminator(c *core, fr *frame, in *ir.Instr) {
 			taken = !taken
 			p.Injected = true
 			p.Where = fmt.Sprintf("%s/%s br", fr.fn.Name, fr.fn.Blocks[fr.block].Name)
+			m.emitFault(c, p)
 		}
 		target := in.Blocks[1]
 		if taken {
@@ -468,6 +477,7 @@ func (m *Machine) commitReg(c *core, fr *frame, in *ir.Instr, res, ready uint64)
 		}
 		p.Injected = true
 		p.Where = fmt.Sprintf("%s/%s %s", fr.fn.Name, fr.fn.Blocks[fr.block].Name, in.Op)
+		m.emitFault(c, p)
 	}
 	if !skipped {
 		fr.setReg(in.Res, res^flip, ready)

@@ -6,6 +6,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/htm"
 	"repro/internal/ir"
+	"repro/internal/obs"
 )
 
 // execIntrinsic implements the runtime helper functions: the HAFT
@@ -110,6 +111,13 @@ func (m *Machine) execIntrinsic(c *core, in *ir.Instr) {
 		for i := 0; i+1 < len(vals); i += 2 {
 			if vals[i] != vals[i+1] {
 				mismatch = true
+				if m.obsRing != nil {
+					m.obsRing.Emit(obs.Event{
+						Kind: obs.KindCheckDiverge, Actor: m.obsBase + int32(c.id),
+						Time: c.sched.Now(), A: vals[i], B: vals[i+1],
+						Label: fr.fn.Name + "/" + fr.fn.Blocks[fr.block].Name,
+					})
+				}
 				break
 			}
 		}
@@ -127,6 +135,12 @@ func (m *Machine) execIntrinsic(c *core, in *ir.Instr) {
 	case "ilr.fail":
 		// A failed ILR check: xabort inside a transaction, program
 		// termination outside (Figure 1c vs 1b).
+		if m.obsRing != nil {
+			m.obsRing.Emit(obs.Event{
+				Kind: obs.KindDetect, Actor: m.obsBase + int32(c.id), Time: c.sched.Now(),
+				Label: fr.fn.Name + "/" + fr.fn.Blocks[fr.block].Name,
+			})
+		}
 		if m.HTM.InTx(c.id) && !m.Cfg.DisableRecovery {
 			m.stats.ExplicitAborts++
 			c.hadExplicit = true
@@ -325,6 +339,12 @@ func (m *Machine) recoverAfterAbort(c *core) {
 	}
 	c.attempts++
 	if c.attempts <= m.Cfg.MaxRetries {
+		if m.obsRing != nil {
+			m.obsRing.Emit(obs.Event{
+				Kind: obs.KindRetry, Actor: m.obsBase + int32(c.id), Time: c.sched.Now(),
+				A: uint64(c.attempts), Label: "tx",
+			})
+		}
 		m.HTM.Begin(c.id, c.sched.Now())
 		c.txEntered = c.sched.Now()
 		return
@@ -332,6 +352,12 @@ func (m *Machine) recoverAfterAbort(c *core) {
 	// Retry budget exhausted: execute non-transactionally until the
 	// next transaction begin (§3).
 	m.HTM.RecordFallback()
+	if m.obsRing != nil {
+		m.obsRing.Emit(obs.Event{
+			Kind: obs.KindRetry, Actor: m.obsBase + int32(c.id), Time: c.sched.Now(),
+			A: uint64(c.attempts), Label: "fallback",
+		})
+	}
 }
 
 // lockAcquire implements the blocking mutex acquire.

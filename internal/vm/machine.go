@@ -28,6 +28,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/htm"
 	"repro/internal/ir"
+	"repro/internal/obs"
 )
 
 // Status describes how a run ended.
@@ -365,6 +366,9 @@ type Machine struct {
 	faults      []*FaultPlan
 	tracer      func(TraceEvent)
 	breakpoints []*Breakpoint
+	obsRing     *obs.Ring
+	obsBase     int32
+	prof        *obs.Profiler
 
 	outputLimit int
 }
@@ -486,6 +490,42 @@ type TraceEvent struct {
 // Tracing is the reference-run side of the two-step fault-injection
 // protocol and the backing for haftc's -trace flag.
 func (m *Machine) SetTracer(fn func(TraceEvent)) { m.tracer = fn }
+
+// SetObsRing attaches an observability ring buffer (nil to detach).
+// The machine and its HTM system emit structured events into it: tx
+// begin/commit/abort with cause, ILR check divergences with the
+// diverging value pair, fault-injection sites, and retry decisions.
+// Like tracers, the ring survives Reset. Attaching a ring never
+// perturbs simulated state.
+func (m *Machine) SetObsRing(r *obs.Ring) {
+	m.obsRing = r
+	m.HTM.Trace = r
+}
+
+// SetObsActorBase offsets the Actor field of every event this machine
+// emits. Pools that share one ring across several machines (the serve
+// warm pool, campaign workers) give each machine a disjoint base so
+// core 0 of instance 2 is distinguishable from core 0 of instance 3.
+func (m *Machine) SetObsActorBase(b int32) {
+	m.obsBase = b
+	m.HTM.TraceActorBase = b
+}
+
+// SetProfiler attaches a hardening-overhead profiler that attributes
+// every dynamic instruction to a (function, source line, category)
+// cell (nil to detach). Survives Reset; never perturbs simulated
+// state or instruction counts.
+func (m *Machine) SetProfiler(p *obs.Profiler) { m.prof = p }
+
+// emitFault reports a fired fault plan to the observability ring.
+func (m *Machine) emitFault(c *core, p *FaultPlan) {
+	if m.obsRing != nil {
+		m.obsRing.Emit(obs.Event{
+			Kind: obs.KindFault, Actor: m.obsBase + int32(c.id), Time: c.sched.Now(),
+			A: p.TargetIndex, Label: p.Where,
+		})
+	}
+}
 
 // Output returns the externalized output stream.
 func (m *Machine) Output() []uint64 { return m.output }
@@ -643,6 +683,7 @@ func (m *Machine) markInjected(c *core, p *FaultPlan) {
 		}
 		p.Where = fmt.Sprintf("%s/%s %s", fr.fn.Name, b.Name, op)
 	}
+	m.emitFault(c, p)
 }
 
 // memRead reads the word at a byte address through the HTM layer.

@@ -1,0 +1,133 @@
+// Public observability facade: profiled/traced execution, Chrome
+// trace export, and the HTTP debug listener. The heavy lifting lives
+// in internal/obs; this file re-exports the pieces CLI tools and
+// library users need.
+package haft
+
+import (
+	"net/http"
+
+	"repro/internal/cpu"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/vm"
+)
+
+// Profile attributes every dynamic instruction of a run to a
+// (function, source line, hardening category) cell, where the
+// categories are master / shadow / check / tx — the Figure 7
+// breakdown. Render it with Report (sorted text) or Folded
+// (pprof-style folded stacks).
+type Profile = obs.Profiler
+
+// ProfileSummary is a profile's per-category dynamic instruction
+// totals; Total always equals the run's DynInstrs.
+type ProfileSummary = obs.ProfileSummary
+
+// ObsEvent is one structured observability event (transaction
+// lifecycle, check divergence, fault injection, retry, serving
+// lifecycle).
+type ObsEvent = obs.Event
+
+// ObsRing is the fixed-size lock-free ring buffer the machine and its
+// HTM system emit events into; when full it overwrites the oldest
+// events.
+type ObsRing = obs.Ring
+
+// ChromeOptions parameterizes the Chrome trace_event export
+// (chrome://tracing, Perfetto).
+type ChromeOptions = obs.ChromeOptions
+
+// DebugServer is a running HTTP debug listener (see ListenDebug).
+type DebugServer = obs.DebugServer
+
+// NewObsRing returns a ring holding the last size events (rounded up
+// to a power of two).
+func NewObsRing(size int) *ObsRing { return obs.NewRing(size) }
+
+// ChromeTrace renders events as Chrome trace_event JSON for
+// chrome://tracing or Perfetto's legacy loader.
+func ChromeTrace(events []ObsEvent, opt ChromeOptions) []byte {
+	return obs.ChromeTrace(events, opt)
+}
+
+// ListenDebug serves the handler (e.g. Server.DebugHandler) on addr
+// in the background; Close the returned server to stop. The bound
+// address (with the resolved port) is in DebugServer.Addr.
+func ListenDebug(addr string, h http.Handler) (*DebugServer, error) {
+	return obs.ListenAndServe(addr, h)
+}
+
+// DebugRegistry is a metric registry rendering Prometheus text
+// exposition format; it backs the /metrics endpoint of the debug
+// handler and the campaign progress stream.
+type DebugRegistry = obs.Registry
+
+// DebugHealth is the /healthz payload of a debug handler.
+type DebugHealth = obs.Health
+
+// DebugHandlerConfig assembles a debug handler from metric writers, an
+// event ring and a health probe.
+type DebugHandlerConfig = obs.HandlerConfig
+
+// NewDebugRegistry returns an empty metric registry.
+func NewDebugRegistry() *DebugRegistry { return obs.NewRegistry() }
+
+// NewDebugHandler builds the /metrics + /trace + /healthz HTTP
+// handler for the given sources.
+func NewDebugHandler(cfg DebugHandlerConfig) http.Handler { return obs.NewHandler(cfg) }
+
+// DeclareFaultCampaignMetrics pre-registers the campaign metric
+// families so early scrapes see typed families.
+func DeclareFaultCampaignMetrics(reg *DebugRegistry) { fault.DeclareCampaignMetrics(reg) }
+
+// PublishFaultCampaignProgress writes a campaign's live per-model
+// state (runs, SDC confidence interval, abort-cause histogram) into
+// the registry; RunCampaign does this automatically when
+// FaultCampaignConfig.Progress is set.
+func PublishFaultCampaignProgress(reg *DebugRegistry, r *FaultCampaignResult) {
+	fault.PublishProgress(reg, r)
+}
+
+// machResult converts a finished machine into a Result.
+func machResult(mach *vm.Machine) Result {
+	st := mach.Stats()
+	return Result{
+		Status:      mach.Status().String(),
+		Output:      mach.Output(),
+		Cycles:      st.Cycles,
+		Seconds:     cpu.CyclesToSeconds(st.Cycles),
+		DynInstrs:   st.DynInstrs,
+		AbortRate:   mach.HTM.Stats.AbortRate(),
+		Coverage:    100 * mach.Coverage(),
+		Recovered:   st.Recovered,
+		CrashReason: st.CrashReason,
+	}
+}
+
+// RunProfiled is Run with a hardening-overhead profiler attached: it
+// executes the program and returns the result plus the per-function,
+// per-line instruction attribution. Profiling never perturbs the
+// simulated execution — the result is identical to Run's.
+func RunProfiled(p *Program, threads int) (Result, *Profile) {
+	mach := vm.New(p.prog.Module.Clone(), threads, vm.DefaultConfig())
+	prof := obs.NewProfiler()
+	mach.SetProfiler(prof)
+	mach.Run(p.prog.SpecsFor(threads)...)
+	return machResult(mach), prof
+}
+
+// RunObserved is Run with an event ring attached: it executes the
+// program and returns the result plus the ring holding the last depth
+// events (depth <= 0 selects 8192). Export the events with
+// ChromeTrace. Observation never perturbs the simulated execution.
+func RunObserved(p *Program, threads, depth int) (Result, *ObsRing) {
+	if depth <= 0 {
+		depth = 8192
+	}
+	mach := vm.New(p.prog.Module.Clone(), threads, vm.DefaultConfig())
+	ring := obs.NewRing(depth)
+	mach.SetObsRing(ring)
+	mach.Run(p.prog.SpecsFor(threads)...)
+	return machResult(mach), ring
+}
