@@ -132,6 +132,13 @@ var experimentRunners = map[string]func(exp.Options) (string, error){
 		}
 		return t.String(), nil
 	},
+	"vmexec": func(o exp.Options) (string, error) {
+		_, t, err := exp.VMExec(o)
+		if err != nil {
+			return "", err
+		}
+		return t.String(), nil
+	},
 }
 
 // experimentData maps experiment ids to runners with a structured,
@@ -161,6 +168,13 @@ var experimentData = map[string]func(exp.Options) (any, string, error){
 	},
 	"overhead": func(o exp.Options) (any, string, error) {
 		res, t, err := exp.Overhead(o)
+		if err != nil {
+			return nil, "", err
+		}
+		return res, t.String(), nil
+	},
+	"vmexec": func(o exp.Options) (any, string, error) {
+		res, t, err := exp.VMExec(o)
 		if err != nil {
 			return nil, "", err
 		}

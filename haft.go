@@ -209,7 +209,7 @@ type Result struct {
 // Run executes the program on a machine with the given number of
 // threads/cores and returns the result.
 func Run(p *Program, threads int) Result {
-	mach := vm.New(p.prog.Module.Clone(), threads, vm.DefaultConfig())
+	mach := vm.NewFromProgram(vm.SharedPrograms.Get(p.prog.Module), threads, vm.DefaultConfig())
 	mach.Run(p.prog.SpecsFor(threads)...)
 	st := mach.Stats()
 	return Result{
@@ -241,7 +241,7 @@ type TraceEvent struct {
 // trace events (max <= 0 collects everything; beware of memory on
 // long runs).
 func Trace(p *Program, threads, max int) (Result, []TraceEvent) {
-	mach := vm.New(p.prog.Module.Clone(), threads, vm.DefaultConfig())
+	mach := vm.NewFromProgram(vm.SharedPrograms.Get(p.prog.Module), threads, vm.DefaultConfig())
 	var events []TraceEvent
 	mach.SetTracer(func(ev vm.TraceEvent) {
 		if max > 0 && len(events) >= max {

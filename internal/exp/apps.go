@@ -17,7 +17,7 @@ import (
 // throughput runs a prepared module and returns requests/second (in
 // units of 10⁶ msg/s as plotted in Figures 11 and 12).
 func throughput(mod *ir.Module, p *workloads.Program, threads, requests int) float64 {
-	mach := vm.New(mod.Clone(), threads, vm.DefaultConfig())
+	mach := vm.NewFromProgram(vm.SharedPrograms.Get(mod), threads, vm.DefaultConfig())
 	hp := *p
 	hp.Module = mod
 	mach.Run(hp.SpecsFor(threads)...)

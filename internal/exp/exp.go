@@ -116,7 +116,7 @@ func measure(p *workloads.Program, mode core.Mode, opt core.OptLevel, threshold 
 	if vmTweak != nil {
 		vmTweak(&vcfg)
 	}
-	mach := vm.New(mod, threads, vcfg)
+	mach := vm.NewFromProgram(vm.Compile(mod), threads, vcfg)
 	hp := *p
 	hp.Module = mod
 	mach.Run(hp.SpecsFor(threads)...)

@@ -87,7 +87,7 @@ func Overhead(o Options) (*OverheadResult, *report.Table, error) {
 			if err != nil {
 				return nil, 0, hs, obs.ProfileSummary{}, err
 			}
-			mach := vm.New(mod, th, vm.DefaultConfig())
+			mach := vm.NewFromProgram(vm.Compile(mod), th, vm.DefaultConfig())
 			prof := obs.NewProfiler()
 			mach.SetProfiler(prof)
 			hp := *p

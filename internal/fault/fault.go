@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/ir"
 	"repro/internal/vm"
@@ -114,10 +115,25 @@ type Target struct {
 	Setup func(*vm.Machine)
 	// Specs are the thread entry points.
 	Specs []vm.ThreadSpec
+	// Interpret forces the reference step interpreter instead of the
+	// precompiled engine (differential testing; default off).
+	Interpret bool
+
+	// compileOnce guards the shared compiled program: the module is
+	// compiled once per target and every worker machine runs the same
+	// immutable artifact instead of re-cloning the module per run.
+	compileOnce sync.Once
+	prog        *vm.Program
 }
 
 func (t *Target) newMachine() *vm.Machine {
-	mach := vm.New(t.Module.Clone(), t.Threads, t.VM)
+	var mach *vm.Machine
+	if t.Interpret {
+		mach = vm.New(t.Module.Clone(), t.Threads, t.VM)
+	} else {
+		t.compileOnce.Do(func() { t.prog = vm.SharedPrograms.Get(t.Module) })
+		mach = vm.NewFromProgram(t.prog, t.Threads, t.VM)
+	}
 	if t.Setup != nil {
 		t.Setup(mach)
 	}

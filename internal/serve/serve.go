@@ -169,12 +169,12 @@ type result struct {
 
 // instance is one warm VM in the pool.
 type instance struct {
-	id         int
-	mach       *vm.Machine
-	reqsAddr   uint64
-	nreqAddr   uint64
-	replyAddr  uint64
-	rng *rand.Rand
+	id        int
+	mach      *vm.Machine
+	reqsAddr  uint64
+	nreqAddr  uint64
+	replyAddr uint64
+	rng       *rand.Rand
 	// chaosRng drives the chaos layer independently of the SEU
 	// sampling sequence.
 	chaosRng   *rand.Rand
@@ -206,16 +206,19 @@ type Server struct {
 }
 
 // moduleSource builds fresh machines (instance rebuilds after
-// quarantine).
+// quarantine). Every machine shares the one precompiled program — an
+// instance rebuild costs a Machine allocation, not a module clone and
+// re-lowering.
 type moduleSource struct {
-	prog *workloads.Program
-	cfg  vm.Config
+	prog  *workloads.Program
+	cprog *vm.Program
+	cfg   vm.Config
 }
 
 func (ms moduleSource) newMachine(seedBump int64) *vm.Machine {
 	cfg := ms.cfg
 	cfg.HTM.Seed += seedBump
-	return vm.New(ms.prog.Module.Clone(), 1, cfg)
+	return vm.NewFromProgram(ms.cprog, 1, cfg)
 }
 
 // NewServer hardens the KV serving program, calibrates the fault
@@ -277,7 +280,7 @@ func NewServer(cfg Config) (*Server, error) {
 		ring:   obs.NewRing(cfg.TraceDepth),
 		closed: make(chan struct{}),
 	}
-	s.mod = moduleSource{prog: &hp, cfg: vm.DefaultConfig()}
+	s.mod = moduleSource{prog: &hp, cprog: vm.SharedPrograms.Get(hp.Module), cfg: vm.DefaultConfig()}
 	s.queue = make(chan *item, cfg.QueueDepth)
 	s.metrics = newMetrics(cfg.Pool, func() int { return len(s.queue) })
 

@@ -1,0 +1,437 @@
+// Precompiled execution engine: Compile lowers a verified ir.Module
+// once into a flat, cache-friendly Program that the machine's fast
+// dispatch loop (cexec.go) executes without re-resolving operands,
+// block targets, phi edges, or intrinsic names per dynamic
+// instruction. The compiled form is immutable and safe to share: any
+// number of Machines (campaign workers, the serve warm pool) can run
+// the same Program concurrently, each with its own registers, memory
+// and HTM state. Machine.Reset never touches the program, so a pooled
+// machine keeps its compiled code across reuse.
+//
+// The lowering rules:
+//
+//   - Operands become carg{v, r}: a register index or an immediate,
+//     decided at compile time (no ir.Operand.IsConst branch per step).
+//   - Every instruction's issue latency (cpu.Latency /
+//     cpu.IntrinsicLatency) and shadow flag are precomputed.
+//   - Block bodies are concatenated into one contiguous code array per
+//     function; cfunc.start maps a block index to its first pc, and a
+//     synthetic end-of-block slot reproduces the interpreter's
+//     "fell off block" crash without a bounds check per step.
+//   - Direct calls are bound to a function index or an intrinsic id at
+//     compile time; unknown callees lower to sentinel ops that crash
+//     with the interpreter's exact diagnostics.
+//   - Phi runs are pre-batched per predecessor into permutation-move
+//     lists (cphiGroup), including the exact crash/accounting behavior
+//     for a predecessor with no edge.
+//   - A superinstruction fuser (fuse.go) marks hot straight-line ILR
+//     patterns for fused dispatch.
+//
+// Correctness contract: a Machine running a compiled Program is
+// bit-identical to the step interpreter in Status, Output, RunStats,
+// fault-injection behavior (sites, populations, outcomes), breakpoint
+// firing, obs emission, and profiler attribution. compile_test.go and
+// the internal/lang differential fuzz pin this.
+package vm
+
+import (
+	"sync"
+
+	"repro/internal/cpu"
+	"repro/internal/ir"
+)
+
+// intrID is a dense intrinsic index; the compiled engine dispatches
+// intrinsics by id instead of by name. The table covers exactly the
+// names ir.IsIntrinsic accepts.
+type intrID uint8
+
+const (
+	intrTxBegin intrID = iota
+	intrTxEnd
+	intrTxCondSplit
+	intrTxCounterInc
+	intrTxCheck
+	intrILRFail
+	intrHaftCrash
+	intrLockAcquire
+	intrLockRelease
+	intrLockAcquireElide
+	intrLockReleaseElide
+	intrMalloc
+	intrFree
+	intrThreadID
+	intrThreadCount
+	intrBarrierWait
+	intrSysRead
+	intrSysWrite
+	numIntrinsics
+)
+
+var intrinsicNames = [numIntrinsics]string{
+	intrTxBegin:          "tx.begin",
+	intrTxEnd:            "tx.end",
+	intrTxCondSplit:      "tx.cond_split",
+	intrTxCounterInc:     "tx.counter_inc",
+	intrTxCheck:          "tx.check",
+	intrILRFail:          "ilr.fail",
+	intrHaftCrash:        "haft.crash",
+	intrLockAcquire:      "lock.acquire",
+	intrLockRelease:      "lock.release",
+	intrLockAcquireElide: "lock.acquire_elide",
+	intrLockReleaseElide: "lock.release_elide",
+	intrMalloc:           "malloc",
+	intrFree:             "free",
+	intrThreadID:         "thread.id",
+	intrThreadCount:      "thread.count",
+	intrBarrierWait:      "barrier.wait",
+	intrSysRead:          "sys.read",
+	intrSysWrite:         "sys.write",
+}
+
+// intrinsicIDs resolves a callee name to its dense id (both engines
+// use it: the interpreter per call, the compiler once per site).
+var intrinsicIDs map[string]intrID
+
+// intrinsicLat caches cpu.IntrinsicLatency per id so neither engine
+// consults the name-keyed latency table on the hot path.
+var intrinsicLat [numIntrinsics]uint64
+
+// latPhi is the precomputed phi-move latency.
+var latPhi uint64
+
+func init() {
+	intrinsicIDs = make(map[string]intrID, numIntrinsics)
+	for id, name := range intrinsicNames {
+		intrinsicIDs[name] = intrID(id)
+		intrinsicLat[id] = cpu.IntrinsicLatency(name)
+	}
+	latPhi = cpu.Latency(ir.OpPhi)
+}
+
+// Sentinel ops, private to the compiled engine. They occupy the high
+// end of the ir.Op space and reproduce interpreter crash paths that
+// the compiler resolves statically.
+const (
+	// copFellOff sits after the last instruction of every block:
+	// control falling past a block without a terminator crashes.
+	copFellOff ir.Op = 0xF0 + iota
+	// copBadCall is a direct call to a name that is neither an
+	// intrinsic nor a module function.
+	copBadCall
+	// copBadIntrinsic is a call to a name ir.IsIntrinsic accepts but
+	// the runtime does not implement (defensive, mirrors the
+	// interpreter's default case).
+	copBadIntrinsic
+)
+
+// carg is a pre-resolved operand: r >= 0 names a frame register,
+// r < 0 means the immediate v.
+type carg struct {
+	v uint64
+	r int32
+}
+
+// cval evaluates a pre-resolved operand, returning the value and its
+// readiness cycle (the compiled twin of frame.operand).
+func (fr *frame) cval(a carg) (uint64, uint64) {
+	if a.r >= 0 {
+		return fr.regs[a.r], fr.ready[a.r]
+	}
+	return a.v, 0
+}
+
+// fuseKind selects the fused-dispatch handler for a superinstruction
+// head (see fuse.go).
+type fuseKind uint8
+
+const (
+	fuseNone fuseKind = iota
+	// fuseRun: a maximal straight-line run of register-only
+	// instructions (plus fusable tx helpers), executed without
+	// returning to the scheduler between constituents.
+	fuseRun
+	// fusePairCheck: the hot ILR triad master-op + shadow-op +
+	// tx.check(master, shadow), with a specialized commit path.
+	fusePairCheck
+)
+
+// cinstr is one flattened instruction. It carries everything the
+// dispatch loop needs pre-resolved; in points back to the ir.Instr
+// for the slow paths that report locations (faults, tracer, profiler,
+// crash messages).
+type cinstr struct {
+	args []carg
+	in   *ir.Instr
+	phi  *cphiGroup
+	off  int64
+	lat  uint64
+	res  int32 // result register, -1 = none
+	// fused is the constituent count of the superinstruction starting
+	// here (0 or 1 = dispatch singly); fkind picks the handler.
+	fused int32
+	// t0/t1 are op-specific: Br taken/not-taken block indices; Jmp
+	// target block; Call function index or intrinsic id (t1 == 1
+	// marks an intrinsic); CallInd unused.
+	t0, t1 int32
+	op     ir.Op
+	fkind  fuseKind
+	shadow bool
+	pred   ir.Pred
+	rmw    ir.RMWKind
+}
+
+// cphiMove is one phi's pre-resolved move for a specific predecessor.
+type cphiMove struct {
+	src    carg
+	in     *ir.Instr
+	res    int32
+	shadow bool
+}
+
+// cphiPred batches the moves a whole phi run performs when entered
+// from one predecessor block. bad, if non-nil, is the first phi in
+// the run lacking an edge from this predecessor (the run crashes
+// there, after performing the complete moves before it — mirroring
+// the interpreter's accounting exactly).
+type cphiPred struct {
+	pred  int
+	moves []cphiMove
+	bad   *ir.Instr
+}
+
+// cphiGroup is the pre-batched phi run starting at one instruction
+// index. The interpreter executes the run [i, end) when control lands
+// on phi index i, so every phi in a run heads its own group over its
+// suffix; control normally enters at the block head.
+type cphiGroup struct {
+	end   int32 // instruction index just past the run, within the block
+	first *ir.Instr
+	preds []cphiPred
+}
+
+// cfunc is one compiled function: all blocks flattened into code,
+// start mapping block index -> first pc.
+type cfunc struct {
+	fn    *ir.Func
+	code  []cinstr
+	start []int32
+}
+
+// Program is the immutable compiled form of a module. It holds no
+// run-time state and may back any number of Machines concurrently.
+type Program struct {
+	Mod   *ir.Module
+	funcs []*cfunc
+}
+
+// ProgramStats summarizes a compiled program (reporting/benchmarks).
+type ProgramStats struct {
+	Funcs       int `json:"funcs"`
+	Instrs      int `json:"instrs"`
+	FusedRuns   int `json:"fused_runs"`
+	FusedInstrs int `json:"fused_instrs"`
+	PairChecks  int `json:"pair_checks"`
+}
+
+// Stats reports the static shape of the compiled program.
+func (p *Program) Stats() ProgramStats {
+	st := ProgramStats{Funcs: len(p.funcs)}
+	for _, cf := range p.funcs {
+		for i := range cf.code {
+			ci := &cf.code[i]
+			if ci.op != copFellOff {
+				st.Instrs++
+			}
+			if ci.fused > 1 {
+				st.FusedRuns++
+				st.FusedInstrs += int(ci.fused)
+				if ci.fkind == fusePairCheck {
+					st.PairChecks++
+				}
+			}
+		}
+	}
+	return st
+}
+
+// Compile lowers a module into its flat executable form. The module
+// is laid out (idempotent) and must not be mutated afterwards; the
+// machine never writes to it at run time.
+func Compile(mod *ir.Module) *Program {
+	mod.Layout()
+	p := &Program{Mod: mod, funcs: make([]*cfunc, len(mod.Funcs))}
+	for i, fn := range mod.Funcs {
+		p.funcs[i] = compileFunc(mod, fn)
+	}
+	return p
+}
+
+func lowerArg(o ir.Operand) carg {
+	if o.IsConst {
+		return carg{v: o.Const, r: -1}
+	}
+	return carg{r: int32(o.Reg)}
+}
+
+func compileFunc(mod *ir.Module, fn *ir.Func) *cfunc {
+	cf := &cfunc{fn: fn, start: make([]int32, len(fn.Blocks))}
+	total, nargs := 0, 0
+	for _, b := range fn.Blocks {
+		total += len(b.Instrs) + 1 // + synthetic end-of-block slot
+		for i := range b.Instrs {
+			nargs += len(b.Instrs[i].Args)
+		}
+	}
+	cf.code = make([]cinstr, 0, total)
+	// One contiguous operand pool per function; capacity is exact, so
+	// the sub-slices taken below stay valid.
+	pool := make([]carg, 0, nargs)
+	for bi, b := range fn.Blocks {
+		cf.start[bi] = int32(len(cf.code))
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			ci := cinstr{
+				op:     in.Op,
+				in:     in,
+				res:    int32(in.Res),
+				pred:   in.Pred,
+				rmw:    in.RMW,
+				off:    in.Off,
+				shadow: in.HasFlag(ir.FlagShadow),
+				lat:    cpu.Latency(in.Op),
+				t0:     -1,
+				t1:     -1,
+			}
+			base := len(pool)
+			for _, a := range in.Args {
+				pool = append(pool, lowerArg(a))
+			}
+			ci.args = pool[base:len(pool):len(pool)]
+			switch in.Op {
+			case ir.OpCall:
+				if id, ok := intrinsicIDs[in.Callee]; ok {
+					ci.t0, ci.t1 = int32(id), 1
+					ci.lat = intrinsicLat[id]
+				} else if ir.IsIntrinsic(in.Callee) {
+					ci.op = copBadIntrinsic
+				} else if fi := mod.FuncIndex(in.Callee); fi >= 0 {
+					ci.t0, ci.t1 = int32(fi), 0
+					ci.lat = cpu.Latency(ir.OpCall)
+				} else {
+					ci.op = copBadCall
+				}
+			case ir.OpCallInd:
+				// The interpreter charges indirect calls the direct-call
+				// frame-push latency.
+				ci.lat = cpu.Latency(ir.OpCall)
+			case ir.OpBr:
+				ci.t0, ci.t1 = int32(in.Blocks[0]), int32(in.Blocks[1])
+			case ir.OpJmp:
+				ci.t0 = int32(in.Blocks[0])
+			case ir.OpPhi:
+				ci.phi = compilePhiGroup(b, ii)
+			}
+			cf.code = append(cf.code, ci)
+		}
+		cf.code = append(cf.code, cinstr{op: copFellOff, res: -1, t0: int32(bi), t1: -1})
+	}
+	fuseFunc(cf)
+	return cf
+}
+
+// compilePhiGroup pre-batches the phi run starting at index s of
+// block b into per-predecessor move lists.
+func compilePhiGroup(b *ir.Block, s int) *cphiGroup {
+	e := s
+	for e < len(b.Instrs) && b.Instrs[e].Op == ir.OpPhi {
+		e++
+	}
+	g := &cphiGroup{end: int32(e), first: &b.Instrs[s]}
+	// Predecessor set: union over the run, in first-appearance order.
+	var preds []int
+	for i := s; i < e; i++ {
+		for _, p := range b.Instrs[i].PhiPreds {
+			seen := false
+			for _, q := range preds {
+				if q == p {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				preds = append(preds, p)
+			}
+		}
+	}
+	for _, p := range preds {
+		cp := cphiPred{pred: p}
+		for i := s; i < e; i++ {
+			in := &b.Instrs[i]
+			ki := -1
+			for k, q := range in.PhiPreds {
+				if q == p {
+					ki = k
+					break
+				}
+			}
+			if ki < 0 {
+				cp.bad = in
+				break
+			}
+			cp.moves = append(cp.moves, cphiMove{
+				src:    lowerArg(in.Args[ki]),
+				in:     in,
+				res:    int32(in.Res),
+				shadow: in.HasFlag(ir.FlagShadow),
+			})
+		}
+		g.preds = append(g.preds, cp)
+	}
+	return g
+}
+
+// ProgramCache memoizes compiled programs by module identity, so
+// components that build thousands of Machines over one module
+// (fault.RunCampaign workers, the serve warm pool) compile once and
+// share the artifact. Safe for concurrent use.
+type ProgramCache struct {
+	mu    sync.Mutex
+	progs map[*ir.Module]*Program
+}
+
+// NewProgramCache returns an empty cache.
+func NewProgramCache() *ProgramCache {
+	return &ProgramCache{progs: make(map[*ir.Module]*Program)}
+}
+
+// Get returns the compiled program for mod, compiling it on first
+// use.
+func (pc *ProgramCache) Get(mod *ir.Module) *Program {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if p, ok := pc.progs[mod]; ok {
+		return p
+	}
+	p := Compile(mod)
+	pc.progs[mod] = p
+	return p
+}
+
+// Drop forgets the cached program for mod (module retired).
+func (pc *ProgramCache) Drop(mod *ir.Module) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	delete(pc.progs, mod)
+}
+
+// Len reports how many programs the cache holds.
+func (pc *ProgramCache) Len() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return len(pc.progs)
+}
+
+// SharedPrograms is the process-wide program cache used by the fault
+// campaign engine and the serving layer.
+var SharedPrograms = NewProgramCache()

@@ -3,16 +3,16 @@ package vm
 import (
 	"fmt"
 
-	"repro/internal/cpu"
 	"repro/internal/htm"
 	"repro/internal/ir"
 	"repro/internal/obs"
 )
 
-// execIntrinsic implements the runtime helper functions: the HAFT
-// transactification helpers of §3.2, the ILR detection point, lock and
-// lock-elision wrappers (§3.3), and the unprotected "external library"
-// surface (allocation, raw I/O, threading queries, barriers).
+// execIntrinsic is the interpreter's entry into the intrinsic
+// runtime: it gathers operands, resolves the callee name to its dense
+// id once, and dispatches. The compiled engine skips the name lookup
+// entirely (the id and latency are bound per call site at compile
+// time) and enters execIntrinsicID directly.
 func (m *Machine) execIntrinsic(c *core, in *ir.Instr) {
 	fr := &c.frames[len(c.frames)-1]
 	var opsReady uint64
@@ -24,7 +24,20 @@ func (m *Machine) execIntrinsic(c *core, in *ir.Instr) {
 			opsReady = r
 		}
 	}
-	lat := cpu.IntrinsicLatency(in.Callee)
+	id, ok := intrinsicIDs[in.Callee]
+	if !ok {
+		m.crash("unknown intrinsic " + in.Callee)
+		return
+	}
+	m.execIntrinsicID(c, fr, in, id, vals, opsReady, intrinsicLat[id])
+}
+
+// execIntrinsicID implements the runtime helper functions: the HAFT
+// transactification helpers of §3.2, the ILR detection point, lock and
+// lock-elision wrappers (§3.3), and the unprotected "external library"
+// surface (allocation, raw I/O, threading queries, barriers). Both
+// engines land here; dispatch is on the dense intrinsic id.
+func (m *Machine) execIntrinsicID(c *core, fr *frame, in *ir.Instr, id intrID, vals []uint64, opsReady, lat uint64) {
 	advance := func() {
 		fr.instr++
 		m.afterInstr(c)
@@ -35,8 +48,8 @@ func (m *Machine) execIntrinsic(c *core, in *ir.Instr) {
 		}
 	}
 
-	switch in.Callee {
-	case "tx.begin":
+	switch id {
+	case intrTxBegin:
 		c.sched.Stall(lat)
 		if m.HTM.InTx(c.id) {
 			// Defensive flat nesting: commit the active transaction.
@@ -51,7 +64,7 @@ func (m *Machine) execIntrinsic(c *core, in *ir.Instr) {
 		c.txEntered = c.sched.Now()
 		fr.instr++
 
-	case "tx.end":
+	case intrTxEnd:
 		c.sched.Stall(lat)
 		if m.HTM.InTx(c.id) {
 			if !m.commitTx(c) {
@@ -61,7 +74,7 @@ func (m *Machine) execIntrinsic(c *core, in *ir.Instr) {
 		c.snapshot = nil
 		fr.instr++
 
-	case "tx.cond_split":
+	case intrTxCondSplit:
 		threshold := int64(vals[0])
 		if len(vals) >= 2 {
 			// Folded counter increment (check-reduction suite): the
@@ -85,7 +98,7 @@ func (m *Machine) execIntrinsic(c *core, in *ir.Instr) {
 				return
 			}
 		}
-		c.sched.Stall(cpu.IntrinsicLatency("tx.begin"))
+		c.sched.Stall(intrinsicLat[intrTxBegin])
 		c.takeSnapshot()
 		c.attempts = 0
 		c.counter = 0
@@ -93,13 +106,13 @@ func (m *Machine) execIntrinsic(c *core, in *ir.Instr) {
 		c.txEntered = c.sched.Now()
 		fr.instr++
 
-	case "tx.counter_inc":
+	case intrTxCounterInc:
 		c.sched.Issue(lat, opsReady)
 		c.counter += int64(vals[0])
 		advance()
 		return
 
-	case "tx.check":
+	case intrTxCheck:
 		// Relaxed ILR check (§3.3): compare master/shadow pairs without
 		// branching. Inside a transaction a mismatch only marks the
 		// core diverged — the reaction is deferred to the next commit
@@ -132,7 +145,7 @@ func (m *Machine) execIntrinsic(c *core, in *ir.Instr) {
 		advance()
 		return
 
-	case "ilr.fail":
+	case intrILRFail:
 		// A failed ILR check: xabort inside a transaction, program
 		// termination outside (Figure 1c vs 1b).
 		if m.obsRing != nil {
@@ -151,11 +164,11 @@ func (m *Machine) execIntrinsic(c *core, in *ir.Instr) {
 		m.status = StatusILRDetected
 		return
 
-	case "haft.crash":
+	case intrHaftCrash:
 		m.status = StatusILRDetected
 		return
 
-	case "lock.acquire":
+	case intrLockAcquire:
 		if m.HTM.InTx(c.id) {
 			m.HTM.Unfriendly(c.id)
 			m.checkDoom(c)
@@ -164,7 +177,7 @@ func (m *Machine) execIntrinsic(c *core, in *ir.Instr) {
 		m.lockAcquire(c, vals[0], lat, advance)
 		return
 
-	case "lock.release":
+	case intrLockRelease:
 		if m.HTM.InTx(c.id) {
 			m.HTM.Unfriendly(c.id)
 			m.checkDoom(c)
@@ -177,10 +190,10 @@ func (m *Machine) execIntrinsic(c *core, in *ir.Instr) {
 		}
 		fr.instr++
 
-	case "lock.acquire_elide":
+	case intrLockAcquireElide:
 		if !m.HTM.InTx(c.id) {
 			// No active transaction: fall back to the real lock.
-			m.lockAcquire(c, vals[0], cpu.IntrinsicLatency("lock.acquire"), advance)
+			m.lockAcquire(c, vals[0], intrinsicLat[intrLockAcquire], advance)
 			return
 		}
 		c.sched.Issue(lat, opsReady)
@@ -197,9 +210,9 @@ func (m *Machine) execIntrinsic(c *core, in *ir.Instr) {
 		c.elided = append(c.elided, vals[0])
 		fr.instr++
 
-	case "lock.release_elide":
+	case intrLockReleaseElide:
 		if !m.HTM.InTx(c.id) {
-			c.sched.Stall(cpu.IntrinsicLatency("lock.release"))
+			c.sched.Stall(intrinsicLat[intrLockRelease])
 			m.lockRelease(c, vals[0])
 			if m.status != StatusOK {
 				return
@@ -221,7 +234,7 @@ func (m *Machine) execIntrinsic(c *core, in *ir.Instr) {
 			return
 		}
 
-	case "malloc":
+	case intrMalloc:
 		if m.HTM.InTx(c.id) {
 			m.HTM.Unfriendly(c.id)
 			m.checkDoom(c)
@@ -231,21 +244,21 @@ func (m *Machine) execIntrinsic(c *core, in *ir.Instr) {
 		setRes(m.Malloc(vals[0]))
 		fr.instr++
 
-	case "free":
+	case intrFree:
 		c.sched.Issue(lat, opsReady)
 		fr.instr++
 
-	case "thread.id":
+	case intrThreadID:
 		c.sched.Issue(lat, opsReady)
 		setRes(uint64(c.id))
 		fr.instr++
 
-	case "thread.count":
+	case intrThreadCount:
 		c.sched.Issue(lat, opsReady)
 		setRes(uint64(m.nthreads))
 		fr.instr++
 
-	case "barrier.wait":
+	case intrBarrierWait:
 		if m.HTM.InTx(c.id) {
 			m.HTM.Unfriendly(c.id)
 			m.checkDoom(c)
@@ -254,7 +267,7 @@ func (m *Machine) execIntrinsic(c *core, in *ir.Instr) {
 		m.barrierWait(c, vals[0], vals[1], lat)
 		return
 
-	case "sys.read", "sys.write":
+	case intrSysRead, intrSysWrite:
 		if m.HTM.InTx(c.id) {
 			m.HTM.Unfriendly(c.id)
 			m.checkDoom(c)
@@ -328,7 +341,7 @@ func (m *Machine) recoverAfterAbort(c *core) {
 	c.restoreSnapshot()
 	c.elided = c.elided[:0]
 	c.diverged = false
-	c.sched.Stall(cpu.IntrinsicLatency("tx.begin"))
+	c.sched.Stall(intrinsicLat[intrTxBegin])
 	if m.Cfg.AdaptiveThreshold && c.dynLimit > 0 {
 		c.commitStreak = 0
 		if c.dynLimit > 200 {

@@ -263,6 +263,7 @@ const (
 // frame is one activation record.
 type frame struct {
 	fn       *ir.Func
+	cfn      *cfunc // compiled body (nil when the step interpreter runs)
 	block    int
 	instr    int
 	prevBlk  int // predecessor block for phi resolution
@@ -370,11 +371,35 @@ type Machine struct {
 	obsBase     int32
 	prof        *obs.Profiler
 
+	// prog is the precompiled program; nil machines run the step
+	// interpreter, non-nil machines run the compiled dispatch loops in
+	// cexec.go. Reset never touches it, so a pooled machine keeps its
+	// compiled artifact across reuses.
+	prog *Program
+	// phiScratch is reused by the compiled phi-group handler.
+	phiScratch []phiUpd
+
 	outputLimit int
 }
 
-// New builds a machine for the module with n threads.
+// New builds a machine for the module with n threads, running the
+// reference step interpreter.
 func New(m *ir.Module, nthreads int, cfg Config) *Machine {
+	return newMachine(m, nil, nthreads, cfg)
+}
+
+// NewFromProgram builds a machine executing a precompiled program.
+// The program is immutable and may be shared by any number of
+// machines concurrently (the campaign workers and the serve warm pool
+// rely on this). Behavior is bit-identical to New(p.Mod, ...).
+func NewFromProgram(p *Program, nthreads int, cfg Config) *Machine {
+	return newMachine(p.Mod, p, nthreads, cfg)
+}
+
+// Compiled reports whether this machine runs the precompiled engine.
+func (m *Machine) Compiled() bool { return m.prog != nil }
+
+func newMachine(m *ir.Module, p *Program, nthreads int, cfg Config) *Machine {
 	if cfg.IssueWidth == 0 {
 		cfg.IssueWidth = cpu.DefaultWidth
 	}
@@ -389,6 +414,7 @@ func New(m *ir.Module, nthreads int, cfg Config) *Machine {
 	memBytes += uint64(nthreads) * m.StackBytes
 	mach := &Machine{
 		Mod:         m,
+		prog:        p,
 		Cfg:         cfg,
 		HTM:         htm.NewSystem(nthreads, cfg.HTM),
 		mem:         make([]uint64, memBytes/8+1),
@@ -568,11 +594,18 @@ func (m *Machine) Run(specs ...ThreadSpec) Status {
 			ready: make([]uint64, f.NValues),
 			base:  c.stackBase,
 		}
+		if m.prog != nil {
+			fr.cfn = m.prog.funcs[m.Mod.FuncIndex(spec.Func)]
+		}
 		copy(fr.regs, spec.Args)
 		c.frames = append(c.frames[:0], fr)
 	}
 	m.status = StatusOK
-	m.loop()
+	if m.prog != nil {
+		m.loopCompiled()
+	} else {
+		m.loop()
+	}
 	return m.status
 }
 
@@ -610,7 +643,12 @@ func (m *Machine) loop() {
 			break
 		}
 	}
-	// Final accounting.
+	m.finishRun()
+}
+
+// finishRun performs the end-of-run accounting shared by the step
+// interpreter and the compiled dispatch loops.
+func (m *Machine) finishRun() {
 	for _, c := range m.cores {
 		n := c.sched.Now()
 		if n > m.stats.Cycles {

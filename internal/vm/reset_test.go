@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/ir"
+	"repro/internal/obs"
 )
 
 // resetProg exercises most of the machine state Reset must restore:
@@ -98,6 +99,53 @@ func TestResetDeterminism(t *testing.T) {
 		if started != wantStarted || committed != wantCommitted {
 			t.Fatalf("round %d: HTM started/committed %d/%d, want %d/%d",
 				round, started, committed, wantStarted, wantCommitted)
+		}
+	}
+}
+
+// TestCompiledResetDeterminism extends the warm-pool contract to the
+// fast engine: a Reset compiled machine — with a ring and profiler
+// still attached — reruns bit-identically to a fresh one built from
+// the same shared Program, and both agree with the step interpreter.
+func TestCompiledResetDeterminism(t *testing.T) {
+	m, err := ir.Parse(resetProg)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog := Compile(m)
+	cfg := DefaultConfig() // keep the HTM RNG live
+
+	fresh := NewFromProgram(prog, 2, cfg)
+	wantStatus, wantOut, wantStats, wantStarted, wantCommitted := runReset(t, fresh)
+	if wantStatus != StatusOK {
+		t.Fatalf("reference run failed: %v (%s)", wantStatus, wantStats.CrashReason)
+	}
+
+	// The interpreter agrees on the same module.
+	interp := New(m, 2, cfg)
+	iStatus, iOut, iStats, _, _ := runReset(t, interp)
+	if iStatus != wantStatus || !reflect.DeepEqual(iOut, wantOut) || iStats != wantStats {
+		t.Fatalf("engines disagree: interp %v %v %+v vs compiled %v %v %+v",
+			iStatus, iOut, iStats, wantStatus, wantOut, wantStats)
+	}
+
+	reused := NewFromProgram(prog, 2, cfg)
+	ring := obs.NewRing(1 << 12)
+	reused.SetObsRing(ring)
+	reused.SetProfiler(obs.NewProfiler())
+	for round := 0; round < 4; round++ {
+		if round > 0 {
+			reused.Reset()
+			if !reused.Compiled() {
+				t.Fatalf("round %d: Reset dropped the compiled program", round)
+			}
+		}
+		status, out, stats, started, committed := runReset(t, reused)
+		if status != wantStatus || !reflect.DeepEqual(out, wantOut) || stats != wantStats ||
+			started != wantStarted || committed != wantCommitted {
+			t.Fatalf("round %d diverged: %v %v %+v (htm %d/%d), want %v %v %+v (htm %d/%d)",
+				round, status, out, stats, started, committed,
+				wantStatus, wantOut, wantStats, wantStarted, wantCommitted)
 		}
 	}
 }

@@ -110,7 +110,7 @@ func machResult(mach *vm.Machine) Result {
 // per-line instruction attribution. Profiling never perturbs the
 // simulated execution — the result is identical to Run's.
 func RunProfiled(p *Program, threads int) (Result, *Profile) {
-	mach := vm.New(p.prog.Module.Clone(), threads, vm.DefaultConfig())
+	mach := vm.NewFromProgram(vm.SharedPrograms.Get(p.prog.Module), threads, vm.DefaultConfig())
 	prof := obs.NewProfiler()
 	mach.SetProfiler(prof)
 	mach.Run(p.prog.SpecsFor(threads)...)
@@ -125,7 +125,7 @@ func RunObserved(p *Program, threads, depth int) (Result, *ObsRing) {
 	if depth <= 0 {
 		depth = 8192
 	}
-	mach := vm.New(p.prog.Module.Clone(), threads, vm.DefaultConfig())
+	mach := vm.NewFromProgram(vm.SharedPrograms.Get(p.prog.Module), threads, vm.DefaultConfig())
 	ring := obs.NewRing(depth)
 	mach.SetObsRing(ring)
 	mach.Run(p.prog.SpecsFor(threads)...)
