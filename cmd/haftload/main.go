@@ -9,6 +9,13 @@
 //	haftload [-addr 127.0.0.1:7171] [-workload A] [-rate 0]
 //	         [-duration 10s] [-conns 8] [-records 1024]
 //	         [-valuework 4] [-verify] [-seed 1] [-json]
+//	         [-cluster] [-out results.json]
+//
+// The endpoint can be a single haftserve or a haftrouter cluster front
+// end — the wire protocol is identical. With -cluster the final stats
+// snapshot is rendered as the router's cluster snapshot (votes, masked
+// corruptions, failovers) instead of a single node's serve snapshot;
+// -out writes the client-side results plus the raw snapshot as JSON.
 //
 // Connections retry the initial dial with exponential backoff until
 // the load deadline, so haftload can be launched before haftserve
@@ -22,6 +29,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +42,24 @@ import (
 	"repro/internal/ycsb"
 )
 
+// clientResult is the machine-readable summary -out writes: the
+// client-side view of one load run, with the server's (or, with
+// -cluster, the router's) own snapshot attached raw.
+type clientResult struct {
+	Workload      string          `json:"workload"`
+	Conns         int             `json:"conns"`
+	Seconds       float64         `json:"seconds"`
+	Sent          uint64          `json:"sent"`
+	OK            uint64          `json:"ok"`
+	Failed        uint64          `json:"failed"`
+	Corrupted     uint64          `json:"corrupted"`
+	ThroughputRPS float64         `json:"throughput_rps"`
+	LatencyP50    float64         `json:"latency_p50_s"`
+	LatencyP95    float64         `json:"latency_p95_s"`
+	LatencyP99    float64         `json:"latency_p99_s"`
+	Server        json.RawMessage `json:"server,omitempty"`
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7171", "haftserve address")
 	workload := flag.String("workload", "A", "YCSB workload: A or D")
@@ -45,6 +71,8 @@ func main() {
 	verify := flag.Bool("verify", true, "verify every response against the reference function")
 	seed := flag.Int64("seed", 1, "workload generator seed")
 	jsonOut := flag.Bool("json", false, "print the server snapshot as JSON")
+	clusterStats := flag.Bool("cluster", false, "the endpoint is a haftrouter: render stats as a cluster snapshot")
+	out := flag.String("out", "", "write the client-side results (plus the raw server snapshot) as JSON to this file")
 	flag.Parse()
 
 	var w ycsb.Workload
@@ -163,16 +191,58 @@ func main() {
 	fmt.Printf("  latency     p50=%s p95=%s p99=%s\n",
 		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
 
-	// Pull the server's own accounting over the same wire.
+	// Pull the endpoint's own accounting over the same wire. A router
+	// endpoint answers "stats" with the cluster snapshot (-cluster
+	// switches the rendering accordingly); either way the raw payload
+	// is attached to the -out result.
+	var rawStats []byte
 	if c, err := haft.DialServer(*addr); err == nil {
-		if snap, err := c.Stats(); err == nil {
-			if *jsonOut {
-				fmt.Println(string(snap.JSON()))
+		if raw, err := c.StatsRaw(); err == nil {
+			rawStats = raw
+			if *clusterStats {
+				var snap haft.ClusterSnapshot
+				if err := json.Unmarshal(raw, &snap); err == nil {
+					if *jsonOut {
+						fmt.Println(string(snap.JSON()))
+					} else {
+						fmt.Println(snap.Summary())
+					}
+				}
 			} else {
-				fmt.Println(snap.Summary())
+				var snap haft.ServeSnapshot
+				if err := json.Unmarshal(raw, &snap); err == nil {
+					if *jsonOut {
+						fmt.Println(string(snap.JSON()))
+					} else {
+						fmt.Println(snap.Summary())
+					}
+				}
 			}
 		}
 		c.Close()
+	}
+
+	if *out != "" {
+		res := clientResult{
+			Workload:      w.Name,
+			Conns:         *conns,
+			Seconds:       elapsed.Seconds(),
+			Sent:          sent.Load(),
+			OK:            ok,
+			Failed:        failed.Load(),
+			Corrupted:     corrupted.Load(),
+			ThroughputRPS: float64(ok) / elapsed.Seconds(),
+			LatencyP50:    pct(0.50).Seconds(),
+			LatencyP95:    pct(0.95).Seconds(),
+			LatencyP99:    pct(0.99).Seconds(),
+			Server:        rawStats,
+		}
+		b, _ := json.MarshalIndent(res, "", "  ")
+		if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "haftload: write %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		fmt.Printf("haftload: wrote %s\n", *out)
 	}
 
 	if corrupted.Load() > 0 {

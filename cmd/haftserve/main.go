@@ -49,6 +49,8 @@ func main() {
 	metricsEvery := flag.Int("metrics", 0, "print a metrics snapshot every N seconds (0 = off)")
 	jsonOut := flag.Bool("json", false, "print metrics as JSON instead of a table")
 	debugAddr := flag.String("debug-addr", "", "HTTP debug listener: /metrics, /trace, /healthz (empty = off)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
+		"graceful-shutdown drain bound on SIGINT/SIGTERM (0 = wait forever)")
 	flag.Parse()
 
 	cfg := haft.DefaultServeConfig()
@@ -124,7 +126,18 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case <-sig:
-		fmt.Println("\nhaftserve: shutting down")
+		// Graceful drain: stop accepting, let queued and in-flight
+		// requests finish, then tear the pool down. A second signal or
+		// the drain timeout forces an immediate close.
+		fmt.Println("\nhaftserve: draining")
+		go func() {
+			<-sig
+			fmt.Println("haftserve: forced shutdown")
+			srv.Close()
+		}()
+		if err := srv.Shutdown(*drainTimeout); err != nil {
+			fmt.Fprintf(os.Stderr, "haftserve: %v\n", err)
+		}
 	case err := <-done:
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "haftserve: %v\n", err)

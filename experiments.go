@@ -125,6 +125,13 @@ var experimentRunners = map[string]func(exp.Options) (string, error){
 		}
 		return snap.Summary(), nil
 	},
+	"cluster": func(o exp.Options) (string, error) {
+		res, err := exp.ClusterBench(o)
+		if err != nil {
+			return "", err
+		}
+		return res.Table().String(), nil
+	},
 	"overhead": func(o exp.Options) (string, error) {
 		_, t, err := exp.Overhead(o)
 		if err != nil {
@@ -165,6 +172,13 @@ var experimentData = map[string]func(exp.Options) (any, string, error){
 			return nil, "", err
 		}
 		return snap, snap.Summary(), nil
+	},
+	"cluster": func(o exp.Options) (any, string, error) {
+		res, err := exp.ClusterBench(o)
+		if err != nil {
+			return nil, "", err
+		}
+		return res, res.Table().String(), nil
 	},
 	"overhead": func(o exp.Options) (any, string, error) {
 		res, t, err := exp.Overhead(o)

@@ -26,6 +26,7 @@ package haft
 import (
 	"fmt"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/fault"
@@ -449,6 +450,52 @@ func DialServer(addr string) (*ServeConn, error) { return serve.Dial(addr) }
 func ServeReference(req ServeRequest, valueWork int) uint64 {
 	return workloads.KVReference(
 		workloads.KVRequestWord(req.Write, req.Key, req.Value), valueWork)
+}
+
+// ClusterConfig parameterizes the multi-node serving tier: replication
+// factor, ring geometry, retry/breaker policy, and whole-node chaos.
+type ClusterConfig = cluster.Config
+
+// ClusterChaosConfig parameterizes cluster-tier chaos: whole-node
+// kills with rolling (quorum-preserving) selection and timed rebuilds.
+type ClusterChaosConfig = cluster.ChaosConfig
+
+// Cluster is the sharded, replicated routing front end over a set of
+// serving nodes: consistent-hash sharding, majority reply voting on
+// reads, quorum-acknowledged logged writes with replay on failover.
+// It serves the same text protocol as a single Server (see
+// cmd/haftrouter).
+type Cluster = cluster.Cluster
+
+// ClusterBackend is one serving node as the cluster sees it: local
+// (in-process Server) or remote (TCP connection pool to a haftserve).
+type ClusterBackend = cluster.Backend
+
+// ClusterSnapshot is a point-in-time export of a Cluster's metrics
+// (votes, masked corruptions, failovers, replayed writes, per-node
+// states).
+type ClusterSnapshot = cluster.Snapshot
+
+// DefaultClusterConfig returns the standard cluster configuration:
+// R=3 with majority voting, 64 shards x 64 vnodes.
+func DefaultClusterConfig() ClusterConfig { return cluster.DefaultConfig() }
+
+// NewCluster builds the routing tier over the given backends and
+// starts its health checker. The cluster owns the backends: Close
+// closes them.
+func NewCluster(backends []ClusterBackend, cfg ClusterConfig) (*Cluster, error) {
+	return cluster.New(backends, cfg)
+}
+
+// NewLocalBackend runs a serving node in-process (used by tests,
+// benchmarks, and single-binary deployments).
+func NewLocalBackend(id string, cfg ServeConfig) (ClusterBackend, error) {
+	return cluster.NewLocalBackend(id, cfg)
+}
+
+// NewRemoteBackend pools connections to a haftserve TCP endpoint.
+func NewRemoteBackend(id, addr string, maxConns int) ClusterBackend {
+	return cluster.NewRemoteBackend(id, addr, maxConns)
 }
 
 // CompileSource compiles a program written in the C-flavored source

@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/workloads"
+)
+
+// TestClusterChaosZeroCorruption is the headline cluster-wide
+// invariant test: four nodes (R=3) serve concurrent reads and writes
+// while (a) every node runs a live SEU injection campaign with
+// host-side verification DISABLED — so single nodes CAN emit silently
+// corrupted replies and only the cluster vote stands between a flipped
+// bit and the client — and (b) the chaos driver kills and rebuilds
+// whole nodes mid-traffic (rolling: read quorum is always preserved).
+//
+// Invariants asserted:
+//   - zero corrupted replies delivered (every delivered reply equals
+//     the reference function);
+//   - zero acknowledged writes lost across kills, failovers, and log
+//     replays into rebuilt nodes.
+func TestClusterChaosZeroCorruption(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak in -short mode")
+	}
+
+	ncfg := serve.DefaultConfig()
+	ncfg.Pool = 2
+	ncfg.Batch = 8
+	ncfg.QueueDepth = 256
+	ncfg.KV.Records = 64
+	ncfg.SEURate = 0.05
+	ncfg.Verify = false // the cluster vote, not per-node verification, must catch SDCs
+	backends := make([]Backend, 4)
+	for i := range backends {
+		cfg := ncfg
+		cfg.Seed = int64(100 + i)
+		b, err := NewLocalBackend(fmt.Sprintf("node-%d", i), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		backends[i] = b
+	}
+
+	cfg := DefaultConfig()
+	cfg.Shards = 16
+	cfg.HealthInterval = 20 * time.Millisecond
+	cfg.BreakerCooldown = 50 * time.Millisecond
+	cfg.Chaos = ChaosConfig{
+		KillInterval: 400 * time.Millisecond,
+		RebuildDelay: 100 * time.Millisecond,
+		Rolling:      true,
+	}
+	cfg.Seed = 42
+	c, err := New(backends, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	vw := ncfg.KV.ValueWork
+	deadline := time.Now().Add(2500 * time.Millisecond)
+	var delivered, failed, wrong atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				write := (w+i)%4 == 0
+				key := uint64((w*131 + i) % 64)
+				val := uint64(0)
+				if write {
+					val = uint64(w*1000 + i)
+				}
+				var v uint64
+				var err error
+				if write {
+					v, err = c.Put(key, val)
+				} else {
+					v, err = c.Get(key)
+				}
+				if err != nil {
+					// Loud failure (quorum miss under a kill) is
+					// acceptable; silent corruption is not.
+					failed.Add(1)
+					continue
+				}
+				delivered.Add(1)
+				word := workloads.KVRequestWord(write, key, val)
+				if v != workloads.KVReference(word, vw) {
+					wrong.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Quiesce: wait for every node to return to health, converge the
+	// replicas, then audit the logs against the live nodes.
+	waitAllHealthy(t, c, 10*time.Second)
+	c.SyncReplicas()
+	rep := c.CheckInvariants()
+	snap := c.Metrics()
+
+	t.Logf("delivered=%d failed=%d kills=%d failovers=%d rebuilds=%d masked=%d replayed=%d",
+		delivered.Load(), failed.Load(), snap.NodeKills, snap.Failovers,
+		snap.Rebuilds, snap.DetectedCorruptions, snap.ReplayedWrites)
+
+	if wrong.Load() != 0 {
+		t.Fatalf("CLUSTER INVARIANT VIOLATED: %d corrupted replies delivered", wrong.Load())
+	}
+	if rep.DeliveredCorruptions != 0 {
+		t.Fatalf("router counted %d delivered corruptions", rep.DeliveredCorruptions)
+	}
+	if rep.LostAckedWrites != 0 {
+		t.Fatalf("CLUSTER INVARIANT VIOLATED: %d acked writes lost", rep.LostAckedWrites)
+	}
+	if delivered.Load() == 0 {
+		t.Fatalf("no requests were served — the soak exercised nothing")
+	}
+	if snap.NodeKills == 0 {
+		t.Fatalf("chaos driver killed no nodes in %v", 2500*time.Millisecond)
+	}
+	if snap.Rebuilds == 0 {
+		t.Fatalf("no node was rebuilt after the kills")
+	}
+	if snap.AckedWrites == 0 {
+		t.Fatalf("no writes were acknowledged")
+	}
+}
+
+// waitAllHealthy polls until every node reports healthy.
+func waitAllHealthy(t *testing.T, c *Cluster, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		all := true
+		for _, st := range c.Metrics().NodeStates {
+			if st != "healthy" {
+				all = false
+				break
+			}
+		}
+		if all {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("nodes never all recovered: %+v", c.Metrics().NodeStates)
+}

@@ -1,0 +1,829 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// Config parameterizes a Cluster.
+type Config struct {
+	// Replicas is the replication factor R: every shard lives on R
+	// distinct nodes (capped at the node count; default 3). Reads are
+	// delivered only when a majority of R replicas agree on the reply;
+	// writes are acknowledged only once a majority applied them.
+	Replicas int
+	// VNodes is the number of virtual ring points per node (default 64).
+	VNodes int
+	// Shards is the fixed shard count the keyspace is partitioned into
+	// (default 64).
+	Shards int
+	// MaxRetries bounds how many times one request is re-routed after
+	// quorum misses before it fails loudly (default 8).
+	MaxRetries int
+	// RetryBackoff is the base delay before a retry; it doubles per
+	// attempt (default 1ms).
+	RetryBackoff time.Duration
+	// CallTimeout bounds one replica call so a hung node cannot stall
+	// the voter (default 2s).
+	CallTimeout time.Duration
+	// HealthInterval is the health checker's probe period (default
+	// 100ms).
+	HealthInterval time.Duration
+	// BreakerThreshold opens a node's circuit breaker after this many
+	// consecutive call/probe failures (default 3).
+	BreakerThreshold int
+	// SuspicionThreshold quarantines a node after this many of its
+	// replies were masked by the voter (default 3) — a node that keeps
+	// emitting corrupted replies is rebuilt, not just outvoted.
+	SuspicionThreshold int
+	// BreakerCooldown is how long an open breaker holds a node out of
+	// rotation before a readmission probe (default 300ms).
+	BreakerCooldown time.Duration
+	// LogRetention bounds each shard's write log; fully-applied acked
+	// prefixes beyond it are truncated (default 1<<16 entries).
+	LogRetention int
+	// Chaos layers whole-node kills and rebuilds on top of live
+	// traffic (off by default).
+	Chaos ChaosConfig
+	// Seed feeds the chaos RNG.
+	Seed int64
+	// TraceDepth sizes the router's observability ring (default 8192).
+	TraceDepth int
+}
+
+// DefaultConfig returns the standard router configuration.
+func DefaultConfig() Config {
+	return Config{
+		Replicas:           3,
+		VNodes:             64,
+		Shards:             64,
+		MaxRetries:         8,
+		RetryBackoff:       time.Millisecond,
+		CallTimeout:        2 * time.Second,
+		HealthInterval:     100 * time.Millisecond,
+		BreakerThreshold:   3,
+		SuspicionThreshold: 3,
+		BreakerCooldown:    300 * time.Millisecond,
+		LogRetention:       1 << 16,
+		Seed:               1,
+		TraceDepth:         8192,
+	}
+}
+
+// ErrClusterClosed is returned for requests against a closed cluster.
+var ErrClusterClosed = errors.New("cluster: closed")
+
+// ErrNoQuorum is wrapped into request failures when the replica set
+// could not produce a majority-agreed reply within the retry budget.
+var ErrNoQuorum = errors.New("cluster: no reply quorum")
+
+var errCallTimeout = errors.New("cluster: replica call timed out")
+
+// nodeStateKind is a node's position in the health state machine.
+type nodeStateKind int32
+
+const (
+	nodeHealthy nodeStateKind = iota
+	// nodeQuarantined: circuit breaker open (consecutive failures or
+	// voter suspicion); out of rotation until a cooldown probe.
+	nodeQuarantined
+	// nodeRebuilding: readmission in progress — the node accepts
+	// writes (so it cannot fall behind again) while the write log is
+	// replayed into it; reads wait until it is fully healthy.
+	nodeRebuilding
+	// nodeDead: killed by the chaos layer; waiting for restart.
+	nodeDead
+)
+
+func (s nodeStateKind) String() string {
+	switch s {
+	case nodeHealthy:
+		return "healthy"
+	case nodeQuarantined:
+		return "quarantined"
+	case nodeRebuilding:
+		return "rebuilding"
+	case nodeDead:
+		return "dead"
+	}
+	return "unknown"
+}
+
+// node wraps a Backend with its router-side health state.
+type node struct {
+	idx int
+	be  Backend
+
+	mu          sync.Mutex
+	state       nodeStateKind
+	consecFails int
+	suspicion   int
+	openedAt    time.Time
+	generation  int
+	// needsRestart marks quarantines that must rebuild the backend
+	// (voter suspicion, chaos kill) rather than just replay into it.
+	needsRestart bool
+}
+
+func (n *node) getState() nodeStateKind {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.state
+}
+
+// readable nodes participate in the voting read path.
+func (n *node) readable() bool { return n.getState() == nodeHealthy }
+
+// writable nodes receive live writes (rebuilding nodes included, so
+// replay converges instead of chasing a moving target).
+func (n *node) writable() bool {
+	s := n.getState()
+	return s == nodeHealthy || s == nodeRebuilding
+}
+
+// Cluster is the routing front end: it owns the ring, the per-shard
+// write logs, the health checker, and the voting request paths.
+type Cluster struct {
+	cfg     Config
+	quorum  int
+	nodes   []*node
+	ring    *Ring
+	shards  []*shardLog
+	metrics *Metrics
+	obsRing *obs.Ring
+
+	// primaries[shard] is the acting primary's replica ordinal,
+	// guarded by pmu; failovers are detected against it.
+	pmu       sync.Mutex
+	primaries []int
+
+	chaos  *chaosDriver
+	closed chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+}
+
+// New builds a cluster over the given backends and starts the health
+// checker (and the chaos driver, when configured). The cluster takes
+// ownership of the backends: Close closes them.
+func New(backends []Backend, cfg Config) (*Cluster, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("cluster: no backends")
+	}
+	d := DefaultConfig()
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = d.Replicas
+	}
+	if cfg.Replicas > len(backends) {
+		cfg.Replicas = len(backends)
+	}
+	if cfg.VNodes <= 0 {
+		cfg.VNodes = d.VNodes
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = d.Shards
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = d.MaxRetries
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = d.RetryBackoff
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = d.CallTimeout
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = d.HealthInterval
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = d.BreakerThreshold
+	}
+	if cfg.SuspicionThreshold <= 0 {
+		cfg.SuspicionThreshold = d.SuspicionThreshold
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = d.BreakerCooldown
+	}
+	if cfg.LogRetention <= 0 {
+		cfg.LogRetention = d.LogRetention
+	}
+	if cfg.TraceDepth <= 0 {
+		cfg.TraceDepth = d.TraceDepth
+	}
+
+	ids := make([]string, len(backends))
+	for i, b := range backends {
+		ids[i] = b.ID()
+	}
+	ring, err := NewRing(ids, cfg.VNodes, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:       cfg,
+		quorum:    cfg.Replicas/2 + 1,
+		ring:      ring,
+		metrics:   newMetrics(ids),
+		obsRing:   obs.NewRing(cfg.TraceDepth),
+		primaries: make([]int, cfg.Shards),
+		closed:    make(chan struct{}),
+	}
+	c.nodes = make([]*node, len(backends))
+	for i, b := range backends {
+		c.nodes[i] = &node{idx: i, be: b}
+	}
+	c.shards = make([]*shardLog, cfg.Shards)
+	for s := 0; s < cfg.Shards; s++ {
+		c.shards[s] = newShardLog(s, ring.Replicas(s, cfg.Replicas))
+	}
+	c.wg.Add(1)
+	go c.healthLoop()
+	if cfg.Chaos.active() {
+		c.chaos = newChaosDriver(c)
+		c.wg.Add(1)
+		go c.chaos.loop()
+	}
+	return c, nil
+}
+
+// event emits a wall-domain router event into the observability ring.
+func (c *Cluster) event(ev obs.Event) {
+	ev.Domain = obs.DomainWall
+	ev.Time = c.obsRing.Now()
+	c.obsRing.Emit(ev)
+}
+
+// Quorum returns the vote/ack quorum (majority of the replication
+// factor — a single corrupted replica can never win a vote, even when
+// the rest of its replica set is down).
+func (c *Cluster) Quorum() int { return c.quorum }
+
+// Replicas returns the effective replication factor.
+func (c *Cluster) Replicas() int { return c.cfg.Replicas }
+
+// Ring returns the placement function (read-only).
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// ObsRing returns the router's observability ring buffer.
+func (c *Cluster) ObsRing() *obs.Ring { return c.obsRing }
+
+// Node returns backend i (tests reach through this to node metrics).
+func (c *Cluster) Node(i int) Backend { return c.nodes[i].be }
+
+// callResult is one replica's answer to a fanned-out request.
+type callResult struct {
+	node *node
+	val  uint64
+	err  error
+}
+
+// fanout calls every target concurrently, bounding each call with
+// CallTimeout; a timed-out replica counts as failed (its goroutine
+// finishes in the background against a buffered channel).
+func (c *Cluster) fanout(targets []*node, req serve.Request) []callResult {
+	ch := make(chan callResult, len(targets))
+	for _, n := range targets {
+		go func(n *node) {
+			v, err := n.be.Do(req)
+			ch <- callResult{node: n, val: v, err: err}
+		}(n)
+	}
+	timer := time.NewTimer(c.cfg.CallTimeout)
+	defer timer.Stop()
+	out := make([]callResult, 0, len(targets))
+	got := map[*node]bool{}
+	for len(out) < len(targets) {
+		select {
+		case r := <-ch:
+			out = append(out, r)
+			got[r.node] = true
+		case <-timer.C:
+			for _, n := range targets {
+				if !got[n] {
+					out = append(out, callResult{node: n, err: errCallTimeout})
+				}
+			}
+			return out
+		}
+	}
+	return out
+}
+
+// account folds a call result into the node's breaker state.
+func (c *Cluster) account(r callResult) {
+	n := r.node
+	if r.err != nil {
+		c.metrics.nodeFailure(n.be.ID())
+		c.recordFailure(n)
+		return
+	}
+	c.metrics.nodeServe(n.be.ID())
+	n.mu.Lock()
+	n.consecFails = 0
+	n.mu.Unlock()
+}
+
+// tally groups successful replies by value and returns the winning
+// value and its supporters; losers is every successful reply that
+// disagreed with the winner.
+func tally(results []callResult) (best uint64, bestN int, losers []callResult, ok int) {
+	counts := map[uint64]int{}
+	for _, r := range results {
+		if r.err == nil {
+			counts[r.val]++
+			ok++
+		}
+	}
+	first := true
+	for v, n := range counts {
+		if first || n > bestN || (n == bestN && v < best) {
+			best, bestN, first = v, n, false
+		}
+	}
+	for _, r := range results {
+		if r.err == nil && r.val != best {
+			losers = append(losers, r)
+		}
+	}
+	return best, bestN, losers, ok
+}
+
+// maskLosers counts and reports every reply that disagreed with the
+// winning majority: each is a detected corruption, masked before
+// delivery, and suspicion against the emitting node.
+func (c *Cluster) maskLosers(shard int, losers []callResult) {
+	for _, r := range losers {
+		id := r.node.be.ID()
+		c.metrics.mask(id, 1)
+		c.event(obs.Event{Kind: obs.KindVoteMask, Actor: int32(r.node.idx),
+			A: uint64(shard), B: r.val, Label: id})
+		c.suspect(r.node)
+	}
+}
+
+// doRead fans a read out to the shard's readable replicas and
+// delivers only a majority-of-R agreed value.
+func (c *Cluster) doRead(req serve.Request) (uint64, error) {
+	shard := c.ring.ShardOf(req.Key)
+	replicas := c.shards[shard].replicas
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		targets := make([]*node, 0, len(replicas))
+		for _, ni := range replicas {
+			if c.nodes[ni].readable() {
+				targets = append(targets, c.nodes[ni])
+			}
+		}
+		if len(targets) >= c.quorum {
+			results := c.fanout(targets, req)
+			for _, r := range results {
+				c.account(r)
+			}
+			best, bestN, losers, ok := tally(results)
+			c.metrics.vote(ok)
+			if bestN >= c.quorum {
+				c.maskLosers(shard, losers)
+				return best, nil
+			}
+			lastErr = fmt.Errorf("%w: shard %d: best %d/%d (of %d replies)",
+				ErrNoQuorum, shard, bestN, c.quorum, ok)
+		} else {
+			lastErr = fmt.Errorf("%w: shard %d: only %d/%d replicas readable",
+				ErrNoQuorum, shard, len(targets), c.quorum)
+		}
+		c.metrics.quorumMiss()
+		if attempt >= c.cfg.MaxRetries {
+			return 0, lastErr
+		}
+		c.metrics.retry()
+		select {
+		case <-c.closed:
+			return 0, ErrClusterClosed
+		case <-time.After(c.cfg.RetryBackoff << uint(min(attempt, 10))):
+		}
+	}
+}
+
+// doWrite appends the write to the shard's sequenced log, fans it out
+// to the shard's writable replicas, and acknowledges once a majority
+// applied it AND a majority agree on the reply word. Re-executing a
+// write on a replica is idempotent (same value into the same slot), so
+// retries simply re-fan to every writable replica.
+func (c *Cluster) doWrite(req serve.Request) (uint64, error) {
+	shard := c.ring.ShardOf(req.Key)
+	lg := c.shards[shard]
+	entry := lg.append(req)
+	defer lg.truncate(c.cfg.LogRetention)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		targets := make([]*node, 0, len(lg.replicas))
+		for _, ni := range lg.replicas {
+			if c.nodes[ni].writable() {
+				targets = append(targets, c.nodes[ni])
+			}
+		}
+		if len(targets) >= c.quorum {
+			results := c.fanout(targets, req)
+			applied := 0
+			for _, r := range results {
+				c.account(r)
+				if r.err == nil {
+					if ord := lg.ordinalOf(r.node.idx); ord >= 0 {
+						applied = lg.markApplied(entry, ord)
+					}
+				}
+			}
+			best, bestN, losers, ok := tally(results)
+			c.metrics.vote(ok)
+			if bestN >= c.quorum && applied >= c.quorum {
+				c.maskLosers(shard, losers)
+				lg.ack(entry)
+				c.metrics.ackedWrite()
+				return best, nil
+			}
+			lastErr = fmt.Errorf("%w: shard %d write seq %d: vote %d/%d, applied %d/%d",
+				ErrNoQuorum, shard, entry.seq, bestN, c.quorum, applied, c.quorum)
+		} else {
+			lastErr = fmt.Errorf("%w: shard %d: only %d/%d replicas writable",
+				ErrNoQuorum, shard, len(targets), c.quorum)
+		}
+		c.metrics.quorumMiss()
+		if attempt >= c.cfg.MaxRetries {
+			return 0, lastErr
+		}
+		c.metrics.retry()
+		select {
+		case <-c.closed:
+			return 0, ErrClusterClosed
+		case <-time.After(c.cfg.RetryBackoff << uint(min(attempt, 10))):
+		}
+	}
+}
+
+// Do routes one request through the cluster: shard placement, replica
+// fan-out, majority vote, delivery.
+func (c *Cluster) Do(req serve.Request) (uint64, error) {
+	select {
+	case <-c.closed:
+		return 0, ErrClusterClosed
+	default:
+	}
+	c.metrics.request(req.Write)
+	t0 := time.Now()
+	var v uint64
+	var err error
+	if req.Write {
+		v, err = c.doWrite(req)
+	} else {
+		v, err = c.doRead(req)
+	}
+	if err != nil {
+		c.metrics.failure()
+		return 0, err
+	}
+	c.metrics.response(time.Since(t0))
+	return v, nil
+}
+
+// Get reads a key through the voting path.
+func (c *Cluster) Get(key uint64) (uint64, error) {
+	return c.Do(serve.Request{Key: key})
+}
+
+// Put writes a key through the replicated, sequenced path.
+func (c *Cluster) Put(key, value uint64) (uint64, error) {
+	return c.Do(serve.Request{Write: true, Key: key, Value: value})
+}
+
+// recordFailure feeds the node's circuit breaker; enough consecutive
+// failures open it (quarantine).
+func (c *Cluster) recordFailure(n *node) {
+	n.mu.Lock()
+	n.consecFails++
+	trip := n.state == nodeHealthy && n.consecFails >= c.cfg.BreakerThreshold
+	n.mu.Unlock()
+	if trip {
+		c.quarantineNode(n, false, "breaker")
+	}
+}
+
+// suspect feeds the voter's corruption suspicion; enough masked
+// replies quarantine the node for a full rebuild.
+func (c *Cluster) suspect(n *node) {
+	n.mu.Lock()
+	n.suspicion++
+	trip := n.state == nodeHealthy && n.suspicion >= c.cfg.SuspicionThreshold
+	n.mu.Unlock()
+	if trip {
+		c.quarantineNode(n, true, "suspicion")
+	}
+}
+
+// quarantineNode opens the breaker: the node leaves rotation until the
+// cooldown probe readmits it (restart forces a backend rebuild first).
+func (c *Cluster) quarantineNode(n *node, restart bool, cause string) {
+	n.mu.Lock()
+	if n.state != nodeHealthy {
+		n.mu.Unlock()
+		return
+	}
+	n.state = nodeQuarantined
+	n.openedAt = time.Now()
+	n.needsRestart = n.needsRestart || restart
+	gen := n.generation
+	n.mu.Unlock()
+	c.metrics.quarantine()
+	c.metrics.nodeState(n.be.ID(), nodeQuarantined.String())
+	c.event(obs.Event{Kind: obs.KindNodeState, Actor: int32(n.idx),
+		A: uint64(gen), Label: "quarantined/" + cause})
+	c.recomputePrimaries()
+}
+
+// readmit brings a node back: rebuild the backend if required, clear
+// its applied bits (its state may be gone), make it writable, replay
+// the write log into it, then return it to full (readable) health.
+// On failure the node reverts to quarantined and the next cooldown
+// probe retries.
+func (c *Cluster) readmit(n *node) {
+	n.mu.Lock()
+	restart := n.needsRestart
+	n.needsRestart = false
+	n.generation++
+	gen := n.generation
+	n.state = nodeRebuilding
+	n.mu.Unlock()
+	c.metrics.nodeState(n.be.ID(), nodeRebuilding.String())
+	c.event(obs.Event{Kind: obs.KindNodeState, Actor: int32(n.idx),
+		A: uint64(gen), Label: "rebuilding"})
+
+	requarantine := func(restartAgain bool) {
+		n.mu.Lock()
+		n.state = nodeQuarantined
+		n.openedAt = time.Now()
+		n.needsRestart = n.needsRestart || restartAgain
+		n.mu.Unlock()
+		c.metrics.nodeState(n.be.ID(), nodeQuarantined.String())
+	}
+	if restart {
+		if k, ok := n.be.(Killable); ok {
+			if err := k.Restart(); err != nil {
+				requarantine(true)
+				return
+			}
+		}
+	}
+	if err := n.be.Ping(); err != nil {
+		requarantine(restart)
+		return
+	}
+	// The node's durable state cannot be trusted across a quarantine
+	// (a rebuilt backend starts empty); replay the whole retained log.
+	for _, lg := range c.shards {
+		lg.clearApplied(n.idx)
+	}
+	replayed := c.replayNode(n)
+	c.metrics.rebuild()
+	if replayed > 0 {
+		c.metrics.replayed(replayed)
+	}
+	n.mu.Lock()
+	n.state = nodeHealthy
+	n.consecFails = 0
+	n.suspicion = 0
+	n.mu.Unlock()
+	c.metrics.nodeState(n.be.ID(), nodeHealthy.String())
+	c.event(obs.Event{Kind: obs.KindNodeState, Actor: int32(n.idx),
+		A: uint64(gen), Label: "healthy"})
+	c.recomputePrimaries()
+}
+
+// replayNode streams every retained write the node has not applied
+// back into it, in sequence order, until none are pending (live writes
+// keep landing on the node concurrently — it is already writable — so
+// the loop converges). Returns how many writes were replayed.
+func (c *Cluster) replayNode(n *node) int {
+	replayed := 0
+	for _, lg := range c.shards {
+		if lg.ordinalOf(n.idx) < 0 {
+			continue
+		}
+		for {
+			pending := lg.pendingFor(n.idx)
+			if len(pending) == 0 {
+				break
+			}
+			progress := false
+			for _, e := range pending {
+				if _, err := n.be.Do(e.req); err != nil {
+					continue
+				}
+				lg.markApplied(e, lg.ordinalOf(n.idx))
+				replayed++
+				progress = true
+			}
+			if !progress {
+				break // node went away again; breaker will re-open
+			}
+		}
+	}
+	return replayed
+}
+
+// recomputePrimaries re-derives each shard's acting primary (the
+// first replica whose node is healthy or rebuilding) and counts a
+// failover whenever it moves.
+func (c *Cluster) recomputePrimaries() {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	for s, lg := range c.shards {
+		cur := c.primaries[s]
+		next := cur
+		for ord, ni := range lg.replicas {
+			if c.nodes[ni].writable() {
+				next = ord
+				break
+			}
+		}
+		if next != cur {
+			c.primaries[s] = next
+			c.metrics.failover()
+			c.event(obs.Event{Kind: obs.KindFailover, Actor: int32(lg.replicas[next]),
+				A: uint64(s), Label: c.nodes[lg.replicas[next]].be.ID()})
+		}
+	}
+}
+
+// healthLoop probes every node each HealthInterval: failures feed the
+// breaker, expired cooldowns trigger readmission probes.
+func (c *Cluster) healthLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.closed:
+			return
+		case <-t.C:
+		}
+		for _, n := range c.nodes {
+			switch n.getState() {
+			case nodeHealthy:
+				if err := n.be.Ping(); err != nil {
+					c.metrics.nodeFailure(n.be.ID())
+					c.recordFailure(n)
+				}
+			case nodeQuarantined:
+				n.mu.Lock()
+				due := time.Since(n.openedAt) >= c.cfg.BreakerCooldown
+				n.mu.Unlock()
+				if due {
+					// readmit restarts the backend when needed and
+					// reverts to quarantined on failure.
+					c.readmit(n)
+				}
+			case nodeDead, nodeRebuilding:
+				// dead: the chaos driver owns the restart;
+				// rebuilding: a readmission is already in flight.
+			}
+		}
+	}
+}
+
+// InvariantReport is the cluster-wide safety accounting tests and the
+// chaos harness assert on.
+type InvariantReport struct {
+	// LostAckedWrites counts acknowledged writes with no surviving
+	// applied copy on any live replica. Invariant: zero.
+	LostAckedWrites int `json:"lost_acked_writes"`
+	// UnappliedPairs counts (entry, replica) pairs still pending —
+	// zero after SyncReplicas when every node is up.
+	UnappliedPairs int `json:"unapplied_pairs"`
+	// DeliveredCorruptions mirrors the metrics counter. Invariant:
+	// zero.
+	DeliveredCorruptions uint64 `json:"delivered_corruptions"`
+}
+
+// CheckInvariants audits the write logs against live nodes and
+// refreshes the lost-acked-writes metric.
+func (c *Cluster) CheckInvariants() InvariantReport {
+	live := func(ni int) bool {
+		n := c.nodes[ni]
+		if s := n.getState(); s == nodeDead {
+			return false
+		}
+		return n.be.Ping() == nil
+	}
+	lost, unapplied := 0, 0
+	for _, lg := range c.shards {
+		lost += lg.lost(live)
+		unapplied += lg.unapplied()
+	}
+	c.metrics.setLost(uint64(lost))
+	snap := c.metrics.Snapshot()
+	return InvariantReport{
+		LostAckedWrites:      lost,
+		UnappliedPairs:       unapplied,
+		DeliveredCorruptions: snap.DeliveredCorruptions,
+	}
+}
+
+// SyncReplicas replays every pending write into every writable node
+// (the quiesced end-of-run convergence pass the chaos tests use before
+// auditing). Returns the number of writes replayed.
+func (c *Cluster) SyncReplicas() int {
+	total := 0
+	for _, n := range c.nodes {
+		if n.writable() {
+			total += c.replayNode(n)
+		}
+	}
+	if total > 0 {
+		c.metrics.replayed(total)
+	}
+	return total
+}
+
+// Metrics returns a snapshot of the router registry, stamped with the
+// cluster shape.
+func (c *Cluster) Metrics() Snapshot {
+	s := c.metrics.Snapshot()
+	s.Nodes = len(c.nodes)
+	s.Replicas = c.cfg.Replicas
+	s.Shards = c.cfg.Shards
+	return s
+}
+
+// WriteProm renders the router metrics in Prometheus text format.
+func (c *Cluster) WriteProm(w io.Writer) { c.metrics.WriteProm(w) }
+
+// Health reports router liveness for /healthz: healthy while the
+// cluster is open and every shard retains a read quorum.
+func (c *Cluster) Health() obs.Health {
+	ok := true
+	select {
+	case <-c.closed:
+		ok = false
+	default:
+	}
+	degraded := 0
+	for _, lg := range c.shards {
+		readable := 0
+		for _, ni := range lg.replicas {
+			if c.nodes[ni].readable() {
+				readable++
+			}
+		}
+		if readable < c.quorum {
+			degraded++
+		}
+	}
+	snap := c.Metrics()
+	return obs.Health{
+		OK: ok && degraded == 0,
+		Detail: map[string]any{
+			"nodes":                len(c.nodes),
+			"replicas":             c.cfg.Replicas,
+			"shards":               c.cfg.Shards,
+			"shards_below_quorum":  degraded,
+			"node_states":          snap.NodeStates,
+			"detected_corruptions": snap.DetectedCorruptions,
+			"lost_acked_writes":    snap.LostAckedWrites,
+			"closed":               !ok,
+		},
+	}
+}
+
+// DebugHandler returns the router's HTTP debug endpoints: /metrics
+// (router + any extra writers), /trace (the router ring as Chrome
+// trace JSON), /healthz. Every /metrics scrape re-audits the write
+// logs first so haft_cluster_lost_acked_writes_total is current at
+// scrape time, not a stale snapshot.
+func (c *Cluster) DebugHandler(extra ...func(io.Writer)) http.Handler {
+	prom := func(w io.Writer) {
+		c.CheckInvariants()
+		c.metrics.WriteProm(w)
+	}
+	return obs.NewHandler(obs.HandlerConfig{
+		Metrics: append([]func(io.Writer){prom}, extra...),
+		Ring:    c.obsRing,
+		Health:  c.Health,
+	})
+}
+
+// Close shuts the router down and closes every backend.
+func (c *Cluster) Close() {
+	c.once.Do(func() {
+		close(c.closed)
+		c.wg.Wait()
+		for _, n := range c.nodes {
+			n.be.Close()
+		}
+	})
+}

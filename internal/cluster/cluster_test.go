@@ -1,0 +1,343 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/workloads"
+)
+
+// nodeConfig is a small, fast serve config for in-process test nodes.
+func nodeConfig() serve.Config {
+	cfg := serve.DefaultConfig()
+	cfg.Pool = 2
+	cfg.Batch = 8
+	cfg.QueueDepth = 256
+	cfg.KV.Records = 128
+	return cfg
+}
+
+func localBackends(t *testing.T, n int, cfg serve.Config) []Backend {
+	t.Helper()
+	backends := make([]Backend, n)
+	for i := 0; i < n; i++ {
+		b, err := NewLocalBackend(fmt.Sprintf("node-%d", i), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		backends[i] = b
+	}
+	return backends
+}
+
+func reference(write bool, key, value uint64, valueWork int) uint64 {
+	return workloads.KVReference(workloads.KVRequestWord(write, key, value), valueWork)
+}
+
+// TestClusterCorrectness: every request through the voting router gets
+// the exact reference reply, writes are acknowledged at quorum, and
+// both cluster invariants hold on a fault-free run.
+func TestClusterCorrectness(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Shards = 16
+	c, err := New(localBackends(t, 3, nodeConfig()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if c.Quorum() != 2 || c.Replicas() != 3 {
+		t.Fatalf("R=%d quorum=%d, want 3/2", c.Replicas(), c.Quorum())
+	}
+
+	const n = 150
+	vw := nodeConfig().KV.ValueWork
+	var wg sync.WaitGroup
+	var bad atomic.Uint64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			write := i%3 == 0
+			key, val := uint64(i%128), uint64(0)
+			if write {
+				val = uint64(i * 31)
+			}
+			var v uint64
+			var err error
+			if write {
+				v, err = c.Put(key, val)
+			} else {
+				v, err = c.Get(key)
+			}
+			if err != nil {
+				t.Errorf("req %d: %v", i, err)
+				return
+			}
+			if v != reference(write, key, val, vw) {
+				bad.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if bad.Load() != 0 {
+		t.Fatalf("%d replies differ from reference", bad.Load())
+	}
+
+	snap := c.Metrics()
+	if snap.Responses != n || snap.Failed != 0 {
+		t.Fatalf("accounting: %d responses / %d failed, want %d/0", snap.Responses, snap.Failed, n)
+	}
+	if snap.Votes == 0 {
+		t.Fatalf("voter collected no replies")
+	}
+	if snap.AckedWrites != snap.Writes {
+		t.Fatalf("%d writes but %d acked", snap.Writes, snap.AckedWrites)
+	}
+	if snap.DetectedCorruptions != 0 || snap.DeliveredCorruptions != 0 {
+		t.Fatalf("fault-free run reported corruptions: %+v", snap)
+	}
+	rep := c.CheckInvariants()
+	if rep.LostAckedWrites != 0 || rep.DeliveredCorruptions != 0 {
+		t.Fatalf("invariants violated on a clean run: %+v", rep)
+	}
+}
+
+// corruptBackend wraps a healthy backend and flips a bit in every read
+// reply — a node that silently emits corrupted responses. The voter
+// must mask every one of them, never deliver one, and eventually
+// quarantine the node on suspicion. Writes pass through untouched so
+// log replay still converges.
+type corruptBackend struct {
+	Backend
+	flipped atomic.Uint64
+}
+
+func (b *corruptBackend) Do(req serve.Request) (uint64, error) {
+	v, err := b.Backend.Do(req)
+	if err == nil && !req.Write {
+		b.flipped.Add(1)
+		v ^= 1 << 17
+	}
+	return v, err
+}
+
+// TestClusterVoterMasksCorruptReplica is the replica-disagreement
+// accounting test: with one of three replicas returning corrupted read
+// replies, the voter masks the bad reply on every read, counts each
+// mask as a detected corruption attributed to the bad node, delivers
+// only majority-agreed (correct) values, and quarantines the node once
+// suspicion accumulates.
+func TestClusterVoterMasksCorruptReplica(t *testing.T) {
+	backends := localBackends(t, 3, nodeConfig())
+	bad := &corruptBackend{Backend: backends[1]}
+	backends[1] = bad
+
+	cfg := DefaultConfig()
+	cfg.Shards = 16
+	cfg.SuspicionThreshold = 3
+	cfg.BreakerCooldown = 50 * time.Millisecond
+	cfg.HealthInterval = 20 * time.Millisecond
+	c, err := New(backends, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	vw := nodeConfig().KV.ValueWork
+	const n = 60
+	for i := 0; i < n; i++ {
+		key := uint64(i % 128)
+		v, err := c.Get(key)
+		if err != nil {
+			t.Fatalf("get %d: %v", key, err)
+		}
+		if v != reference(false, key, 0, vw) {
+			t.Fatalf("corrupted reply DELIVERED for key %d: %#x", key, v)
+		}
+	}
+
+	snap := c.Metrics()
+	if bad.flipped.Load() == 0 {
+		t.Fatalf("the corrupt replica never served a read — test exercised nothing")
+	}
+	if snap.DetectedCorruptions == 0 {
+		t.Fatalf("voter masked nothing despite %d corrupted replies", bad.flipped.Load())
+	}
+	if snap.DeliveredCorruptions != 0 {
+		t.Fatalf("delivered corruptions = %d, invariant is zero", snap.DeliveredCorruptions)
+	}
+	if snap.NodeMasked["node-1"] == 0 {
+		t.Fatalf("masked replies not attributed to the corrupt node: %+v", snap.NodeMasked)
+	}
+	if snap.NodeMasked["node-0"] != 0 || snap.NodeMasked["node-2"] != 0 {
+		t.Fatalf("healthy nodes were masked: %+v", snap.NodeMasked)
+	}
+	if snap.Quarantines == 0 {
+		t.Fatalf("suspicion threshold %d never quarantined the corrupt node (%d masks)",
+			cfg.SuspicionThreshold, snap.DetectedCorruptions)
+	}
+	t.Logf("flipped=%d masked=%d quarantines=%d rebuilds=%d",
+		bad.flipped.Load(), snap.DetectedCorruptions, snap.Quarantines, snap.Rebuilds)
+}
+
+// TestClusterFailoverReplay: killing a node mid-stream fails shards
+// over to surviving replicas with no acked-write loss; after a manual
+// restart the write log is replayed into the fresh (empty) node and it
+// returns to full health.
+func TestClusterFailoverReplay(t *testing.T) {
+	backends := localBackends(t, 3, nodeConfig())
+	cfg := DefaultConfig()
+	cfg.Shards = 16
+	cfg.HealthInterval = 20 * time.Millisecond
+	cfg.BreakerCooldown = 50 * time.Millisecond
+	cfg.BreakerThreshold = 2
+	c, err := New(backends, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	vw := nodeConfig().KV.ValueWork
+	put := func(lo, hi int) {
+		t.Helper()
+		for i := lo; i < hi; i++ {
+			key, val := uint64(i%128), uint64(i*7)
+			v, err := c.Put(key, val)
+			if err != nil {
+				t.Fatalf("put %d: %v", key, err)
+			}
+			if v != reference(true, key, val, vw) {
+				t.Fatalf("wrong put reply for key %d", key)
+			}
+		}
+	}
+
+	put(0, 40)
+
+	// Kill node 0 out from under the router: its calls and health
+	// probes start failing, the breaker opens, and shards whose home
+	// primary it was fail over.
+	backends[0].(*LocalBackend).Kill()
+	put(40, 80) // quorum 2-of-3 keeps acking with the node down
+
+	waitState(t, c, "node-0", "quarantined", 5*time.Second)
+
+	// Bring a fresh, EMPTY node back: readmission must replay the
+	// retained write log into it before it serves reads again.
+	if err := backends[0].(*LocalBackend).Restart(); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, "node-0", "healthy", 5*time.Second)
+
+	snap := c.Metrics()
+	if snap.Failovers == 0 {
+		t.Fatalf("no failovers counted after killing a primary")
+	}
+	if snap.ReplayedWrites == 0 {
+		t.Fatalf("no writes replayed into the rebuilt node")
+	}
+	rep := c.CheckInvariants()
+	if rep.LostAckedWrites != 0 {
+		t.Fatalf("%d acked writes lost across the failover", rep.LostAckedWrites)
+	}
+	if rep.DeliveredCorruptions != 0 {
+		t.Fatalf("delivered corruptions: %d", rep.DeliveredCorruptions)
+	}
+
+	// Reads after recovery are still majority-verified and correct.
+	for i := 0; i < 20; i++ {
+		key := uint64(i)
+		v, err := c.Get(key)
+		if err != nil {
+			t.Fatalf("post-recovery get %d: %v", key, err)
+		}
+		if v != reference(false, key, 0, vw) {
+			t.Fatalf("post-recovery wrong reply for key %d", key)
+		}
+	}
+	t.Logf("failovers=%d replayed=%d quarantines=%d rebuilds=%d",
+		snap.Failovers, snap.ReplayedWrites, snap.Quarantines, snap.Rebuilds)
+}
+
+// waitState polls until the named node reaches the wanted state.
+func waitState(t *testing.T, c *Cluster, nodeID, want string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if c.Metrics().NodeStates[nodeID] == want {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("node %s never reached state %q (now %q)",
+		nodeID, want, c.Metrics().NodeStates[nodeID])
+}
+
+// TestClusterTCP: the router serves the serve-compatible text protocol
+// — an unmodified serve client gets voted, replicated service, and
+// "stats" answers with the cluster snapshot.
+func TestClusterTCP(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Shards = 16
+	c, err := New(localBackends(t, 3, nodeConfig()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go c.ServeListener(l)
+
+	cl, err := serve.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	vw := nodeConfig().KV.ValueWork
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	pv, err := cl.Put(3, 99)
+	if err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if want := reference(true, 3, 99, vw); pv != want {
+		t.Fatalf("put reply %#x, want %#x", pv, want)
+	}
+	gv, err := cl.Get(3)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if want := reference(false, 3, 0, vw); gv != want {
+		t.Fatalf("get reply %#x, want %#x", gv, want)
+	}
+	vs, err := cl.Scan(10, 4)
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if len(vs) != 4 {
+		t.Fatalf("scan returned %d values, want 4", len(vs))
+	}
+	raw, err := cl.StatsRaw()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("stats payload is not a cluster snapshot: %v", err)
+	}
+	if snap.Nodes != 3 || snap.Replicas != 3 || snap.Responses < 6 {
+		t.Fatalf("cluster snapshot looks wrong: %+v", snap)
+	}
+}

@@ -1,0 +1,393 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/report"
+)
+
+// reservoirSize bounds the sliding window of raw latency samples the
+// router keeps for exact percentile reporting.
+const reservoirSize = 2048
+
+// Metrics is the router's live accounting. Node-level counters (VM
+// runs, HTM aborts, instance quarantines) stay in each backend's own
+// serve registry; this layer counts what only the router can see:
+// votes, masked replicas, failovers, replays, and the cluster-wide
+// corruption/loss invariants.
+type Metrics struct {
+	mu    sync.Mutex
+	start time.Time
+
+	requests  uint64
+	responses uint64
+	failed    uint64
+	retries   uint64
+	reads     uint64
+	writes    uint64
+
+	// votes is the number of replica replies collected across all
+	// voted requests; masked is the subset discarded for disagreeing
+	// with the majority — each one a detected corruption that was
+	// never delivered.
+	votes    uint64
+	masked   uint64
+	noQuorum uint64
+	// delivered corruptions the router itself observed (always zero by
+	// construction — the voter cannot deliver a minority value; kept
+	// as an explicit invariant counter like serve's corrupted_replies).
+	corrupted uint64
+
+	ackedWrites    uint64
+	replayedWrites uint64
+	lostAcked      uint64 // updated by CheckInvariants
+
+	failovers   uint64
+	nodeKills   uint64
+	quarantines uint64
+	rebuilds    uint64
+
+	nodeStates map[string]string
+	nodeFails  map[string]uint64
+	nodeMasked map[string]uint64
+	nodeServed map[string]uint64
+
+	// latency reservoir: sliding window of the last reservoirSize
+	// samples in nanoseconds; percentile sorts a snapshot (the ring is
+	// unordered once wrapped).
+	samples []int64
+	nseen   uint64
+	latSum  time.Duration
+	latMax  time.Duration
+}
+
+func newMetrics(nodeIDs []string) *Metrics {
+	m := &Metrics{
+		start:      time.Now(),
+		nodeStates: map[string]string{},
+		nodeFails:  map[string]uint64{},
+		nodeMasked: map[string]uint64{},
+		nodeServed: map[string]uint64{},
+	}
+	for _, id := range nodeIDs {
+		m.nodeStates[id] = "healthy"
+	}
+	return m
+}
+
+func (m *Metrics) request(write bool) {
+	m.mu.Lock()
+	m.requests++
+	if write {
+		m.writes++
+	} else {
+		m.reads++
+	}
+	m.mu.Unlock()
+}
+
+func (m *Metrics) response(lat time.Duration) {
+	m.mu.Lock()
+	m.responses++
+	if lat < 0 {
+		lat = 0
+	}
+	if len(m.samples) < reservoirSize {
+		m.samples = append(m.samples, int64(lat))
+	} else {
+		m.samples[m.nseen%reservoirSize] = int64(lat)
+	}
+	m.nseen++
+	m.latSum += lat
+	if lat > m.latMax {
+		m.latMax = lat
+	}
+	m.mu.Unlock()
+}
+
+func (m *Metrics) failure() { m.mu.Lock(); m.failed++; m.mu.Unlock() }
+func (m *Metrics) retry()   { m.mu.Lock(); m.retries++; m.mu.Unlock() }
+
+func (m *Metrics) vote(replies int) {
+	m.mu.Lock()
+	m.votes += uint64(replies)
+	m.mu.Unlock()
+}
+
+func (m *Metrics) mask(nodeID string, n int) {
+	m.mu.Lock()
+	m.masked += uint64(n)
+	m.nodeMasked[nodeID] += uint64(n)
+	m.mu.Unlock()
+}
+
+func (m *Metrics) quorumMiss() { m.mu.Lock(); m.noQuorum++; m.mu.Unlock() }
+
+func (m *Metrics) ackedWrite()      { m.mu.Lock(); m.ackedWrites++; m.mu.Unlock() }
+func (m *Metrics) replayed(n int)   { m.mu.Lock(); m.replayedWrites += uint64(n); m.mu.Unlock() }
+func (m *Metrics) setLost(n uint64) { m.mu.Lock(); m.lostAcked = n; m.mu.Unlock() }
+
+func (m *Metrics) failover()  { m.mu.Lock(); m.failovers++; m.mu.Unlock() }
+func (m *Metrics) nodeKill()  { m.mu.Lock(); m.nodeKills++; m.mu.Unlock() }
+func (m *Metrics) quarantine() { m.mu.Lock(); m.quarantines++; m.mu.Unlock() }
+func (m *Metrics) rebuild()   { m.mu.Lock(); m.rebuilds++; m.mu.Unlock() }
+
+func (m *Metrics) nodeState(id, state string) {
+	m.mu.Lock()
+	m.nodeStates[id] = state
+	m.mu.Unlock()
+}
+
+func (m *Metrics) nodeFailure(id string) {
+	m.mu.Lock()
+	m.nodeFails[id]++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) nodeServe(id string) {
+	m.mu.Lock()
+	m.nodeServed[id]++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) percentileLocked(q float64) float64 {
+	if len(m.samples) == 0 {
+		return 0
+	}
+	snap := append([]int64(nil), m.samples...)
+	sort.Slice(snap, func(i, j int) bool { return snap[i] < snap[j] })
+	idx := int(q * float64(len(snap)))
+	if idx >= len(snap) {
+		idx = len(snap) - 1
+	}
+	return float64(snap[idx]) / 1e9
+}
+
+// Snapshot is a point-in-time export of the router registry.
+type Snapshot struct {
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+
+	Nodes    int `json:"nodes"`
+	Replicas int `json:"replicas"`
+	Shards   int `json:"shards"`
+
+	Requests  uint64 `json:"requests"`
+	Responses uint64 `json:"responses"`
+	Failed    uint64 `json:"failed"`
+	Retries   uint64 `json:"retries"`
+	Reads     uint64 `json:"reads"`
+	Writes    uint64 `json:"writes"`
+
+	Votes uint64 `json:"vote_replies"`
+	// DetectedCorruptions counts replica replies the voter masked for
+	// disagreeing with the majority; DeliveredCorruptions is the
+	// cluster invariant counter and must stay zero.
+	DetectedCorruptions  uint64 `json:"detected_corruptions"`
+	NoQuorum             uint64 `json:"no_quorum"`
+	DeliveredCorruptions uint64 `json:"delivered_corruptions"`
+
+	AckedWrites    uint64 `json:"acked_writes"`
+	ReplayedWrites uint64 `json:"replayed_writes"`
+	// LostAckedWrites is the second invariant counter (updated by
+	// CheckInvariants): acknowledged writes with no surviving applied
+	// copy. Must stay zero.
+	LostAckedWrites uint64 `json:"lost_acked_writes"`
+
+	Failovers   uint64 `json:"failovers"`
+	NodeKills   uint64 `json:"node_kills"`
+	Quarantines uint64 `json:"quarantines"`
+	Rebuilds    uint64 `json:"rebuilds"`
+
+	NodeStates map[string]string `json:"node_states"`
+	NodeFails  map[string]uint64 `json:"node_failures"`
+	NodeMasked map[string]uint64 `json:"node_masked_replies"`
+	NodeServed map[string]uint64 `json:"node_served"`
+
+	ThroughputRPS float64 `json:"throughput_rps"`
+	LatencyP50    float64 `json:"latency_p50_s"`
+	LatencyP95    float64 `json:"latency_p95_s"`
+	LatencyP99    float64 `json:"latency_p99_s"`
+	LatencyMean   float64 `json:"latency_mean_s"`
+	LatencyMax    float64 `json:"latency_max_s"`
+}
+
+// Snapshot captures the registry (cluster shape fields are filled by
+// Cluster.Metrics).
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		ElapsedSeconds:       time.Since(m.start).Seconds(),
+		Requests:             m.requests,
+		Responses:            m.responses,
+		Failed:               m.failed,
+		Retries:              m.retries,
+		Reads:                m.reads,
+		Writes:               m.writes,
+		Votes:                m.votes,
+		DetectedCorruptions:  m.masked,
+		NoQuorum:             m.noQuorum,
+		DeliveredCorruptions: m.corrupted,
+		AckedWrites:          m.ackedWrites,
+		ReplayedWrites:       m.replayedWrites,
+		LostAckedWrites:      m.lostAcked,
+		Failovers:            m.failovers,
+		NodeKills:            m.nodeKills,
+		Quarantines:          m.quarantines,
+		Rebuilds:             m.rebuilds,
+		NodeStates:           map[string]string{},
+		NodeFails:            map[string]uint64{},
+		NodeMasked:           map[string]uint64{},
+		NodeServed:           map[string]uint64{},
+		LatencyP50:           m.percentileLocked(0.50),
+		LatencyP95:           m.percentileLocked(0.95),
+		LatencyP99:           m.percentileLocked(0.99),
+		LatencyMax:           float64(m.latMax) / 1e9,
+	}
+	for k, v := range m.nodeStates {
+		s.NodeStates[k] = v
+	}
+	for k, v := range m.nodeFails {
+		s.NodeFails[k] = v
+	}
+	for k, v := range m.nodeMasked {
+		s.NodeMasked[k] = v
+	}
+	for k, v := range m.nodeServed {
+		s.NodeServed[k] = v
+	}
+	if m.responses > 0 {
+		s.LatencyMean = m.latSum.Seconds() / float64(m.responses)
+	}
+	if s.ElapsedSeconds > 0 {
+		s.ThroughputRPS = float64(m.responses) / s.ElapsedSeconds
+	}
+	return s
+}
+
+// JSON renders the snapshot as one JSON object.
+func (s Snapshot) JSON() []byte {
+	b, _ := json.Marshal(s)
+	return b
+}
+
+// Summary renders the snapshot as a human-readable report table.
+func (s Snapshot) Summary() string {
+	t := &report.Table{
+		Title:  "cluster: router metrics",
+		Header: []string{"metric", "value"},
+	}
+	t.AddF(1, "elapsed (s)", s.ElapsedSeconds)
+	t.Add("nodes / replicas / shards", fmt.Sprintf("%d / %d / %d", s.Nodes, s.Replicas, s.Shards))
+	t.AddF(0, "requests", s.Requests)
+	t.AddF(0, "responses", s.Responses)
+	t.AddF(0, "failed", s.Failed)
+	t.AddF(0, "retries", s.Retries)
+	t.Add("reads / writes", fmt.Sprintf("%d / %d", s.Reads, s.Writes))
+	t.AddF(1, "throughput (req/s)", s.ThroughputRPS)
+	t.Add("latency p50/p95/p99 (ms)", fmt.Sprintf("%.3f / %.3f / %.3f",
+		s.LatencyP50*1e3, s.LatencyP95*1e3, s.LatencyP99*1e3))
+	t.AddF(0, "vote replies collected", s.Votes)
+	t.AddF(0, "detected corruptions (masked)", s.DetectedCorruptions)
+	t.AddF(0, "delivered corruptions", s.DeliveredCorruptions)
+	t.AddF(0, "vote quorum misses", s.NoQuorum)
+	t.AddF(0, "acked writes", s.AckedWrites)
+	t.AddF(0, "replayed writes", s.ReplayedWrites)
+	t.AddF(0, "lost acked writes", s.LostAckedWrites)
+	t.AddF(0, "failovers", s.Failovers)
+	t.AddF(0, "node kills (chaos)", s.NodeKills)
+	t.AddF(0, "node quarantines", s.Quarantines)
+	t.AddF(0, "node rebuilds", s.Rebuilds)
+	t.Add("node states", stateLine(s.NodeStates))
+	return t.String()
+}
+
+func stateLine(m map[string]string) string {
+	if len(m) == 0 {
+		return "-"
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += "  "
+		}
+		out += fmt.Sprintf("%s=%s", k, m[k])
+	}
+	return out
+}
+
+// WriteProm renders the registry in Prometheus text exposition format
+// under the haft_cluster_ prefix (the router half of the -debug-addr
+// /metrics endpoint).
+func (m *Metrics) WriteProm(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP haft_cluster_%s %s\n# TYPE haft_cluster_%s counter\nhaft_cluster_%s %d\n",
+			name, help, name, name, v)
+	}
+	g := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP haft_cluster_%s %s\n# TYPE haft_cluster_%s gauge\nhaft_cluster_%s %s\n",
+			name, help, name, name, strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	labeled := func(name, help, label string, vals map[string]uint64) {
+		fmt.Fprintf(w, "# HELP haft_cluster_%s %s\n# TYPE haft_cluster_%s counter\n", name, help, name)
+		keys := make([]string, 0, len(vals))
+		for k := range vals {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "haft_cluster_%s{%s=%q} %d\n", name, label, k, vals[k])
+		}
+	}
+	c("requests_total", "requests routed", m.requests)
+	c("responses_total", "responses delivered", m.responses)
+	c("failed_total", "requests failed after retries", m.failed)
+	c("retries_total", "request retries", m.retries)
+	c("reads_total", "read requests", m.reads)
+	c("writes_total", "write requests", m.writes)
+	c("vote_replies_total", "replica replies collected by the voter", m.votes)
+	c("detected_corruptions_total", "replica replies masked for disagreeing with the majority", m.masked)
+	c("delivered_corruptions_total", "corrupted replies delivered (invariant: zero)", m.corrupted)
+	c("no_quorum_total", "voted requests that could not reach quorum", m.noQuorum)
+	c("acked_writes_total", "writes acknowledged at quorum", m.ackedWrites)
+	c("replayed_writes_total", "writes replayed into rebuilt replicas", m.replayedWrites)
+	c("lost_acked_writes_total", "acknowledged writes lost (invariant: zero)", m.lostAcked)
+	c("failovers_total", "shard primary failovers", m.failovers)
+	c("node_kills_total", "chaos node kills", m.nodeKills)
+	c("node_quarantines_total", "node quarantines", m.quarantines)
+	c("node_rebuilds_total", "node rebuilds (replay + readmission)", m.rebuilds)
+	labeled("node_failures_total", "backend call failures by node", "node", m.nodeFails)
+	labeled("node_masked_replies_total", "masked replies by node", "node", m.nodeMasked)
+	labeled("node_served_total", "replica replies served by node", "node", m.nodeServed)
+	// Node states as a 0/1 gauge per (node, state) pair.
+	fmt.Fprintf(w, "# HELP haft_cluster_node_up node currently healthy (1) or not (0)\n# TYPE haft_cluster_node_up gauge\n")
+	ids := make([]string, 0, len(m.nodeStates))
+	for id := range m.nodeStates {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		up := 0
+		if m.nodeStates[id] == "healthy" {
+			up = 1
+		}
+		fmt.Fprintf(w, "haft_cluster_node_up{node=%q,state=%q} %d\n", id, m.nodeStates[id], up)
+	}
+	g("latency_p50_seconds", "median request latency", m.percentileLocked(0.50))
+	g("latency_p95_seconds", "95th percentile request latency", m.percentileLocked(0.95))
+	g("latency_p99_seconds", "99th percentile request latency", m.percentileLocked(0.99))
+	g("latency_max_seconds", "maximum request latency", float64(m.latMax)/1e9)
+}

@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// The router speaks the exact same line-oriented text protocol as a
+// single haftserve node (see internal/serve/proto.go), so any client
+// of one hardened server — cmd/haftload included — can point at the
+// router unchanged and transparently get sharding, replication, and
+// reply voting:
+//
+//	get <key>            -> VALUE <hex-reply>
+//	put <key> <value>    -> STORED <hex-reply>
+//	scan <key> <n>       -> RANGE <hex> <hex> ...
+//	stats                -> STATS <json cluster snapshot>
+//	ping                 -> PONG
+//	quit                 -> (connection closed)
+//
+// The one divergence is "stats": it returns the *cluster* snapshot
+// (votes, masked corruptions, failovers, replays) rather than a
+// single node's serve snapshot.
+
+// maxScan bounds one scan command (matches the serve protocol bound).
+const maxScan = 1024
+
+// ServeListener accepts connections on l and serves the router text
+// protocol until the cluster is closed (which also closes the
+// listener) or the listener fails.
+func (c *Cluster) ServeListener(l net.Listener) error {
+	go func() {
+		<-c.closed
+		l.Close()
+	}()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-c.closed:
+				return ErrClusterClosed
+			default:
+				return err
+			}
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.serveConn(conn)
+		}()
+	}
+}
+
+func (c *Cluster) serveConn(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 4096), 1<<16)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if !c.dispatch(w, line) {
+			return
+		}
+		if w.Flush() != nil {
+			return
+		}
+	}
+}
+
+// dispatch handles one command line; false closes the connection.
+func (c *Cluster) dispatch(w *bufio.Writer, line string) bool {
+	f := strings.Fields(line)
+	cmd := strings.ToLower(f[0])
+	args := f[1:]
+	fail := func(format string, a ...any) bool {
+		fmt.Fprintf(w, "ERR "+format+"\n", a...)
+		return true
+	}
+	switch cmd {
+	case "get":
+		if len(args) != 1 {
+			return fail("usage: get <key>")
+		}
+		key, err := parseNum(args[0])
+		if err != nil {
+			return fail("bad key: %v", err)
+		}
+		v, err := c.Get(key)
+		if err != nil {
+			return fail("%v", err)
+		}
+		fmt.Fprintf(w, "VALUE %#x\n", v)
+	case "put":
+		if len(args) != 2 {
+			return fail("usage: put <key> <value>")
+		}
+		key, err := parseNum(args[0])
+		if err != nil {
+			return fail("bad key: %v", err)
+		}
+		val, err := parseNum(args[1])
+		if err != nil {
+			return fail("bad value: %v", err)
+		}
+		v, err := c.Put(key, val)
+		if err != nil {
+			return fail("%v", err)
+		}
+		fmt.Fprintf(w, "STORED %#x\n", v)
+	case "scan":
+		if len(args) != 2 {
+			return fail("usage: scan <key> <n>")
+		}
+		key, err := parseNum(args[0])
+		if err != nil {
+			return fail("bad key: %v", err)
+		}
+		n, err := parseNum(args[1])
+		if err != nil || n == 0 || n > maxScan {
+			return fail("bad count (1..%d)", maxScan)
+		}
+		w.WriteString("RANGE")
+		for i := uint64(0); i < n; i++ {
+			v, err := c.Get(key + i)
+			if err != nil {
+				return fail("%v", err)
+			}
+			fmt.Fprintf(w, " %#x", v)
+		}
+		w.WriteByte('\n')
+	case "stats":
+		fmt.Fprintf(w, "STATS %s\n", c.Metrics().JSON())
+	case "ping":
+		w.WriteString("PONG\n")
+	case "quit":
+		return false
+	default:
+		return fail("unknown command %q", cmd)
+	}
+	return true
+}
+
+func parseNum(tok string) (uint64, error) {
+	return strconv.ParseUint(tok, 0, 64)
+}

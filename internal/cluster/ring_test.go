@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterminism: the placement is a pure function of the node
+// ids and geometry — two independently built rings agree exactly.
+func TestRingDeterminism(t *testing.T) {
+	ids := []string{"n0", "n1", "n2", "n3"}
+	a, err := NewRing(ids, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(ids, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < a.NumShards(); s++ {
+		ra, rb := a.Replicas(s, 3), b.Replicas(s, 3)
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("shard %d: replica sets diverge: %v vs %v", s, ra, rb)
+			}
+		}
+	}
+	for key := uint64(0); key < 1000; key++ {
+		if a.ShardOf(key) != b.ShardOf(key) {
+			t.Fatalf("key %d maps to different shards", key)
+		}
+		if s := a.ShardOf(key); s < 0 || s >= a.NumShards() {
+			t.Fatalf("key %d: shard %d out of range", key, s)
+		}
+	}
+}
+
+// TestRingReplicaSets: every replica set holds distinct nodes, n is
+// capped at the node count, and every node serves at least one shard.
+func TestRingReplicaSets(t *testing.T) {
+	ids := []string{"n0", "n1", "n2", "n3"}
+	r, err := NewRing(ids, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serves := make([]int, len(ids))
+	for s := 0; s < r.NumShards(); s++ {
+		set := r.Replicas(s, 3)
+		if len(set) != 3 {
+			t.Fatalf("shard %d: |replicas| = %d, want 3", s, len(set))
+		}
+		seen := map[int]bool{}
+		for _, n := range set {
+			if seen[n] {
+				t.Fatalf("shard %d: duplicate node %d in replica set %v", s, n, set)
+			}
+			seen[n] = true
+			serves[n]++
+		}
+	}
+	for n, c := range serves {
+		if c == 0 {
+			t.Fatalf("node %d serves no shard (64 shards x 3 replicas over 4 nodes)", n)
+		}
+	}
+	if got := r.Replicas(0, 10); len(got) != len(ids) {
+		t.Fatalf("Replicas caps at node count: got %d, want %d", len(got), len(ids))
+	}
+}
+
+// TestRingBalance: vnode hashing spreads primaries across nodes — no
+// node owns a grossly disproportionate share of the shards.
+func TestRingBalance(t *testing.T) {
+	ids := make([]string, 8)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("node-%d", i)
+	}
+	r, err := NewRing(ids, 64, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primaries := make([]int, len(ids))
+	for s := 0; s < r.NumShards(); s++ {
+		primaries[r.Replicas(s, 1)[0]]++
+	}
+	// Perfect balance is 32 shards each; allow a generous 4x spread —
+	// the test guards against clustering bugs, not hash quality.
+	for n, c := range primaries {
+		if c == 0 || c > 128 {
+			t.Fatalf("node %d is primary for %d/256 shards (want roughly balanced): %v",
+				n, c, primaries)
+		}
+	}
+}
+
+// TestRingValidation: empty and duplicate ids are rejected.
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 64, 64); err == nil {
+		t.Fatal("empty node list accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 64, 64); err == nil {
+		t.Fatal("empty node id accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 64, 64); err == nil {
+		t.Fatal("duplicate node id accepted")
+	}
+}

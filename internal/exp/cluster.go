@@ -1,0 +1,200 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/report"
+	"repro/internal/serve"
+	"repro/internal/workloads"
+	"repro/internal/ycsb"
+)
+
+// ClusterPoint is one node-count point of the cluster scaling curve.
+type ClusterPoint struct {
+	Nodes    int `json:"nodes"`
+	Replicas int `json:"replicas"`
+	Quorum   int `json:"quorum"`
+
+	Requests      uint64  `json:"requests"`
+	Delivered     uint64  `json:"delivered"`
+	Failed        uint64  `json:"failed"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	LatencyP50    float64 `json:"latency_p50_s"`
+	LatencyP99    float64 `json:"latency_p99_s"`
+
+	// WrongReplies is the client-side count of delivered replies that
+	// differ from the reference function — the cluster-wide invariant
+	// (must be zero even with per-node verification off and nodes dying
+	// mid-traffic).
+	WrongReplies         uint64 `json:"wrong_replies"`
+	DetectedCorruptions  uint64 `json:"detected_corruptions"`
+	DeliveredCorruptions uint64 `json:"delivered_corruptions"`
+	LostAckedWrites      int    `json:"lost_acked_writes"`
+
+	AckedWrites    uint64 `json:"acked_writes"`
+	NodeKills      uint64 `json:"node_kills"`
+	Failovers      uint64 `json:"failovers"`
+	Rebuilds       uint64 `json:"rebuilds"`
+	ReplayedWrites uint64 `json:"replayed_writes"`
+}
+
+// ClusterBenchResult is the haftbench "cluster" experiment payload:
+// the 1→2→4→8 node scaling curve under SEU injection and rolling node
+// kills.
+type ClusterBenchResult struct {
+	NodeCounts []int          `json:"node_counts"`
+	Points     []ClusterPoint `json:"points"`
+}
+
+// Table renders the scaling curve as a report table.
+func (r ClusterBenchResult) Table() *report.Table {
+	t := &report.Table{
+		Title: "cluster: multi-node scaling under SEU + node kills",
+		Header: []string{"nodes", "R", "req/s", "p50 ms", "p99 ms",
+			"kills", "failovers", "masked", "wrong", "lost"},
+	}
+	for _, p := range r.Points {
+		t.Add(
+			fmt.Sprintf("%d", p.Nodes),
+			fmt.Sprintf("%d", p.Replicas),
+			fmt.Sprintf("%.0f", p.ThroughputRPS),
+			fmt.Sprintf("%.3f", p.LatencyP50*1e3),
+			fmt.Sprintf("%.3f", p.LatencyP99*1e3),
+			fmt.Sprintf("%d", p.NodeKills),
+			fmt.Sprintf("%d", p.Failovers),
+			fmt.Sprintf("%d", p.DetectedCorruptions),
+			fmt.Sprintf("%d", p.WrongReplies),
+			fmt.Sprintf("%d", p.LostAckedWrites),
+		)
+	}
+	return t
+}
+
+// ClusterBench runs the cluster scaling experiment behind haftbench's
+// "cluster" id: for each node count it builds an in-process cluster of
+// hardened nodes (each running a live SEU campaign with host-side
+// verification OFF, so the reply vote is the only thing standing
+// between a bit flip and the client), layers rolling node kills on top
+// wherever the replica quorum allows, drives it with YCSB-A-shaped
+// concurrent load, and records throughput, tail latency, and the two
+// cluster-wide invariants (delivered corruptions, lost acked writes —
+// both must be zero).
+func ClusterBench(o Options) (ClusterBenchResult, error) {
+	nodeCounts := []int{1, 2, 4, 8}
+	pointDur := 1200 * time.Millisecond
+	if o.Scale > 1 {
+		pointDur *= time.Duration(o.Scale)
+	}
+	res := ClusterBenchResult{NodeCounts: nodeCounts}
+	for _, nn := range nodeCounts {
+		p, err := clusterPoint(o, nn, pointDur)
+		if err != nil {
+			return res, err
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}
+
+func clusterPoint(o Options, nodes int, dur time.Duration) (ClusterPoint, error) {
+	ncfg := serve.DefaultConfig()
+	ncfg.Pool = 2
+	ncfg.Batch = 8
+	ncfg.QueueDepth = 256
+	ncfg.KV.Records = 128
+	ncfg.SEURate = 0.02
+	ncfg.Verify = false
+
+	backends := make([]cluster.Backend, nodes)
+	for i := 0; i < nodes; i++ {
+		cfg := ncfg
+		cfg.Seed = o.Seed + int64(i)*7919
+		b, err := cluster.NewLocalBackend(fmt.Sprintf("node-%d", i), cfg)
+		if err != nil {
+			return ClusterPoint{}, err
+		}
+		backends[i] = b
+	}
+
+	ccfg := cluster.DefaultConfig()
+	ccfg.Shards = 32
+	ccfg.HealthInterval = 25 * time.Millisecond
+	ccfg.BreakerCooldown = 60 * time.Millisecond
+	ccfg.Seed = o.Seed
+	// Rolling chaos at every point: the quorum guard automatically
+	// blocks kills that would drop a shard below read quorum, so small
+	// clusters simply see no kills rather than unsafe ones.
+	ccfg.Chaos = cluster.ChaosConfig{
+		KillInterval: 350 * time.Millisecond,
+		RebuildDelay: 100 * time.Millisecond,
+		Rolling:      true,
+	}
+	c, err := cluster.New(backends, ccfg)
+	if err != nil {
+		return ClusterPoint{}, err
+	}
+	defer c.Close()
+
+	const clients = 8
+	w := ycsb.WorkloadA(ncfg.KV.Records)
+	deadline := time.Now().Add(dur)
+	var delivered, failed, wrong atomic.Uint64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			gen := ycsb.NewGenerator(w, o.Seed+int64(i)*1000003)
+			for time.Now().Before(deadline) {
+				r := gen.Next()
+				req := serve.Request{Write: r.Op == ycsb.OpWrite, Key: r.Key}
+				if req.Write {
+					req.Value = r.Key*2654435761 + uint64(i)
+				}
+				v, err := c.Do(req)
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				delivered.Add(1)
+				word := workloads.KVRequestWord(req.Write, req.Key, req.Value)
+				if v != workloads.KVReference(word, ncfg.KV.ValueWork) {
+					wrong.Add(1)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Quiesce and audit: converge every replica, then check the logs
+	// against live nodes.
+	c.SyncReplicas()
+	rep := c.CheckInvariants()
+	snap := c.Metrics()
+	return ClusterPoint{
+		Nodes:                nodes,
+		Replicas:             c.Replicas(),
+		Quorum:               c.Quorum(),
+		Requests:             snap.Requests,
+		Delivered:            delivered.Load(),
+		Failed:               failed.Load(),
+		ThroughputRPS:        float64(delivered.Load()) / elapsed.Seconds(),
+		LatencyP50:           snap.LatencyP50,
+		LatencyP99:           snap.LatencyP99,
+		WrongReplies:         wrong.Load(),
+		DetectedCorruptions:  snap.DetectedCorruptions,
+		DeliveredCorruptions: snap.DeliveredCorruptions,
+		LostAckedWrites:      rep.LostAckedWrites,
+		AckedWrites:          snap.AckedWrites,
+		NodeKills:            snap.NodeKills,
+		Failovers:            snap.Failovers,
+		Rebuilds:             snap.Rebuilds,
+		ReplayedWrites:       snap.ReplayedWrites,
+	}, nil
+}

@@ -110,6 +110,25 @@ func writeChromeArgs(b *bytes.Buffer, ev *Event) {
 		arg(&first, "attempt", u(ev.A))
 	case KindQuarantine:
 		arg(&first, "generation", u(ev.A))
+		if ev.Label != "" {
+			arg(&first, "phase", quoteJSON(ev.Label))
+		}
+	case KindVoteMask:
+		arg(&first, "shard", u(ev.A))
+		arg(&first, "masked_value", u(ev.B))
+		if ev.Label != "" {
+			arg(&first, "node", quoteJSON(ev.Label))
+		}
+	case KindFailover:
+		arg(&first, "shard", u(ev.A))
+		if ev.Label != "" {
+			arg(&first, "new_primary", quoteJSON(ev.Label))
+		}
+	case KindNodeState:
+		arg(&first, "generation", u(ev.A))
+		if ev.Label != "" {
+			arg(&first, "state", quoteJSON(ev.Label))
+		}
 	case KindCampaignRun:
 		if ev.Label != "" {
 			arg(&first, "model", quoteJSON(ev.Label))

@@ -59,6 +59,18 @@ const (
 	// completing; Label is "model/outcome", A the run index, B the
 	// outcome.
 	KindCampaignRun
+	// KindVoteMask records the cluster voter masking a replica reply
+	// that disagreed with the majority — one detected corruption that
+	// was never delivered. A is the shard, B the masked value, Label
+	// the replica's node id.
+	KindVoteMask
+	// KindFailover records a shard's acting primary moving to a backup
+	// replica; A is the shard, Label the new primary's node id.
+	KindFailover
+	// KindNodeState records a cluster node state transition; Label is
+	// the new state ("healthy", "quarantined", "rebuilding", "dead"),
+	// A the node's generation.
+	KindNodeState
 
 	numKinds
 )
@@ -77,6 +89,9 @@ var kindNames = [numKinds]string{
 	KindVerifyReject: "verify.reject",
 	KindChaos:        "chaos",
 	KindCampaignRun:  "campaign.run",
+	KindVoteMask:     "vote.mask",
+	KindFailover:     "failover",
+	KindNodeState:    "node.state",
 }
 
 func (k Kind) String() string {

@@ -135,6 +135,10 @@ type Metrics struct {
 	runStatus   map[string]uint64
 	quarantines uint64
 	rebuilds    uint64
+	// quarantinedNow is the number of instances currently in the
+	// quarantine/rebuild cycle (entered on a faulted batch, exited on
+	// the first clean batch after rebuild).
+	quarantinedNow int
 	chaos       map[string]uint64
 	deadlines   uint64
 
@@ -187,6 +191,18 @@ func (m *Metrics) quarantine() {
 	m.rebuilds++
 	m.mu.Unlock()
 }
+// quarantineEnter/quarantineExit track the live count of instances in
+// the quarantine/rebuild cycle (exported as the
+// serve_quarantined_instances gauge).
+func (m *Metrics) quarantineEnter() { m.mu.Lock(); m.quarantinedNow++; m.mu.Unlock() }
+func (m *Metrics) quarantineExit() {
+	m.mu.Lock()
+	if m.quarantinedNow > 0 {
+		m.quarantinedNow--
+	}
+	m.mu.Unlock()
+}
+
 func (m *Metrics) injectedFault() { m.mu.Lock(); m.injected++; m.mu.Unlock() }
 
 // verifyReject counts replies the host-side verifier caught as
@@ -252,6 +268,9 @@ type Snapshot struct {
 	RunStatus   map[string]uint64 `json:"run_status"`
 	Quarantines uint64            `json:"quarantines"`
 	Rebuilds    uint64            `json:"rebuilds"`
+	// QuarantinedInstances is the number of instances currently
+	// quarantined (rebuilt but not yet re-proven by a clean batch).
+	QuarantinedInstances int `json:"quarantined_instances"`
 
 	ChaosEvents      map[string]uint64 `json:"chaos_events"`
 	DeadlineFailures uint64            `json:"deadline_failures"`
@@ -295,8 +314,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		Runs:             m.runs,
 		FaultedRuns:      m.faultedRuns,
 		RunStatus:        map[string]uint64{},
-		Quarantines:      m.quarantines,
-		Rebuilds:         m.rebuilds,
+		Quarantines:          m.quarantines,
+		Rebuilds:             m.rebuilds,
+		QuarantinedInstances: m.quarantinedNow,
 		ChaosEvents:      map[string]uint64{},
 		DeadlineFailures: m.deadlines,
 		InjectedFaults:   m.injected,
@@ -362,6 +382,7 @@ func (s Snapshot) Summary() string {
 	t.AddF(0, "retries", s.Retries)
 	t.AddF(0, "quarantines", s.Quarantines)
 	t.AddF(0, "instance rebuilds", s.Rebuilds)
+	t.AddF(0, "quarantined now", s.QuarantinedInstances)
 	t.Add("chaos events", mapLine(s.ChaosEvents))
 	t.AddF(0, "deadline failures", s.DeadlineFailures)
 	t.AddF(0, "injected faults (SEU)", s.InjectedFaults)
@@ -414,6 +435,7 @@ func (m *Metrics) WriteProm(w io.Writer) {
 	labeled("run_status_total", "VM runs by final status", "status", m.runStatus)
 	c("quarantines_total", "instance quarantines", m.quarantines)
 	c("rebuilds_total", "instance machine rebuilds", m.rebuilds)
+	g("quarantined_instances", "instances currently quarantined", float64(m.quarantinedNow))
 	labeled("chaos_events_total", "chaos-layer events", "kind", m.chaos)
 	c("deadline_failures_total", "requests failed on deadline", m.deadlines)
 	c("injected_faults_total", "SEU campaign injections", m.injected)

@@ -31,6 +31,9 @@ const maxScan = 1024
 // listener fails. Each connection gets its own goroutine; requests
 // from all connections funnel into the shared bounded queue.
 func (s *Server) ServeListener(l net.Listener) error {
+	s.lmu.Lock()
+	s.listeners = append(s.listeners, l)
+	s.lmu.Unlock()
 	go func() {
 		<-s.closed
 		l.Close()
@@ -38,6 +41,12 @@ func (s *Server) ServeListener(l net.Listener) error {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			if s.draining.Load() {
+				// Shutdown closed the listener to stop admissions; the
+				// accept failure is the clean end of serving, not an
+				// error.
+				return ErrClosed
+			}
 			select {
 			case <-s.closed:
 				return ErrClosed
@@ -243,6 +252,17 @@ func (c *Conn) Stats() (Snapshot, error) {
 		return Snapshot{}, fmt.Errorf("serve: bad stats payload: %v", err)
 	}
 	return s, nil
+}
+
+// StatsRaw fetches the stats payload as raw JSON without assuming the
+// single-node snapshot shape — a cluster router answers "stats" with
+// the cluster snapshot, which carries different fields.
+func (c *Conn) StatsRaw() ([]byte, error) {
+	rest, err := c.roundTrip("stats", "STATS")
+	if err != nil {
+		return nil, err
+	}
+	return []byte(rest), nil
 }
 
 // Ping round-trips a no-op command.

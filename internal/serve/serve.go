@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -182,6 +183,10 @@ type instance struct {
 	// consecutiveFaults drives the quarantine policy.
 	consecutiveFaults int
 	usedSinceReset    bool
+	// inQuarantine is true from the rebuild until the instance's next
+	// clean (ok, fully-verified) run — the span the
+	// serve_quarantined_instances gauge counts.
+	inQuarantine bool
 }
 
 // Server is the request-serving layer.
@@ -196,6 +201,13 @@ type Server struct {
 	closed  chan struct{}
 	once    sync.Once
 	wg      sync.WaitGroup
+
+	// draining rejects new submissions while Shutdown waits for the
+	// already-admitted requests (outstanding) to complete.
+	draining    atomic.Bool
+	outstanding atomic.Int64
+	lmu         sync.Mutex
+	listeners   []net.Listener
 
 	// perReqWrites estimates the register-write population of one
 	// request (calibrated at startup) for uniform SEU targeting.
@@ -347,8 +359,15 @@ func (inst *instance) rebuild(s *Server) {
 	inst.mach = fresh
 	inst.consecutiveFaults = 0
 	inst.usedSinceReset = false
+	// The instance is quarantined until its next clean run; the gauge
+	// and the enter/exit events let the router's health checker and
+	// /metrics agree on node state.
+	if !inst.inQuarantine {
+		inst.inQuarantine = true
+		s.metrics.quarantineEnter()
+	}
 	s.event(obs.Event{Kind: obs.KindQuarantine, Actor: int32(inst.id),
-		A: uint64(inst.generation)})
+		A: uint64(inst.generation), Label: "enter"})
 }
 
 // event emits a wall-domain serving-layer event into the ring,
@@ -409,13 +428,20 @@ func (s *Server) gather(first *item, id int) []*item {
 	return batch
 }
 
+// finish delivers a request's result and retires it from the
+// outstanding count the drain path waits on.
+func (s *Server) finish(it *item, r result) {
+	it.done <- r
+	s.outstanding.Add(-1)
+}
+
 // requeue re-submits an item after a delay without blocking a worker.
 func (s *Server) requeue(it *item, delay time.Duration) {
 	push := func() {
 		select {
 		case s.queue <- it:
 		case <-s.closed:
-			it.done <- result{err: ErrClosed}
+			s.finish(it, result{err: ErrClosed})
 		}
 	}
 	if delay <= 0 {
@@ -573,6 +599,14 @@ func (s *Server) runBatch(inst *instance, batch []*item) {
 		s.failOrRetry(inst, rejected, fmt.Errorf("reply failed verification"))
 	} else {
 		inst.consecutiveFaults = 0
+		if inst.inQuarantine {
+			// First clean, fully-verified run after a rebuild: the
+			// instance leaves quarantine.
+			inst.inQuarantine = false
+			s.metrics.quarantineExit()
+			s.event(obs.Event{Kind: obs.KindQuarantine, Actor: int32(inst.id),
+				A: uint64(inst.generation), Label: "exit"})
+		}
 	}
 	now := time.Now()
 	for i, it := range deliverItems {
@@ -580,7 +614,7 @@ func (s *Server) runBatch(inst *instance, batch []*item) {
 		s.metrics.response(lat)
 		s.event(obs.Event{Kind: obs.KindResponse, Actor: int32(inst.id),
 			A: it.id, B: uint64(lat)})
-		it.done <- result{val: deliverVals[i]}
+		s.finish(it, result{val: deliverVals[i]})
 	}
 }
 
@@ -592,8 +626,8 @@ func (s *Server) failOrRetry(inst *instance, batch []*item, cause error) {
 	for _, it := range batch {
 		if it.retries >= s.cfg.MaxRetries {
 			s.metrics.failure()
-			it.done <- result{err: fmt.Errorf(
-				"serve: request failed after %d retries (%v)", it.retries, cause)}
+			s.finish(it, result{err: fmt.Errorf(
+				"serve: request failed after %d retries (%v)", it.retries, cause)})
 			continue
 		}
 		backoff := s.cfg.RetryBackoff << uint(it.retries)
@@ -602,7 +636,7 @@ func (s *Server) failOrRetry(inst *instance, batch []*item, cause error) {
 			// deadline; the submitter gets a definitive failure, never
 			// a stale or corrupted reply.
 			s.metrics.deadlineExceeded()
-			it.done <- result{err: ErrDeadline}
+			s.finish(it, result{err: ErrDeadline})
 			continue
 		}
 		it.retries++
@@ -645,6 +679,11 @@ func (s *Server) submit(req Request, wait bool) (uint64, error) {
 		return 0, ErrClosed
 	default:
 	}
+	if s.draining.Load() {
+		// A draining server admits nothing new; in-flight requests
+		// keep running until Shutdown's drain completes.
+		return 0, ErrClosed
+	}
 	s.metrics.request()
 	it := &item{
 		id:       s.reqID.Add(1),
@@ -654,16 +693,22 @@ func (s *Server) submit(req Request, wait bool) (uint64, error) {
 		done:     make(chan result, 1),
 	}
 	s.event(obs.Event{Kind: obs.KindRequest, A: it.id})
+	// Count the request as outstanding BEFORE the enqueue attempt so
+	// the drain path can never observe a momentary zero while a just-
+	// admitted request races between queue and worker.
+	s.outstanding.Add(1)
 	if wait {
 		select {
 		case s.queue <- it:
 		case <-s.closed:
+			s.outstanding.Add(-1)
 			return 0, ErrClosed
 		}
 	} else {
 		select {
 		case s.queue <- it:
 		default:
+			s.outstanding.Add(-1)
 			s.metrics.rejectedN(1)
 			return 0, ErrOverloaded
 		}
@@ -771,12 +816,14 @@ func (s *Server) Health() obs.Health {
 	return obs.Health{
 		OK: ok,
 		Detail: map[string]any{
-			"pool_size":   snap.PoolSize,
-			"pool_busy":   snap.PoolBusy,
-			"queue_depth": snap.QueueDepth,
-			"quarantines": snap.Quarantines,
-			"rebuilds":    snap.Rebuilds,
-			"closed":      !ok,
+			"pool_size":             snap.PoolSize,
+			"pool_busy":             snap.PoolBusy,
+			"queue_depth":           snap.QueueDepth,
+			"quarantines":           snap.Quarantines,
+			"rebuilds":              snap.Rebuilds,
+			"quarantined_instances": snap.QuarantinedInstances,
+			"draining":              s.draining.Load(),
+			"closed":                !ok,
 		},
 	}
 }
@@ -803,10 +850,41 @@ func (s *Server) Close() {
 		for {
 			select {
 			case it := <-s.queue:
-				it.done <- result{err: ErrClosed}
+				s.finish(it, result{err: ErrClosed})
 			default:
 				return
 			}
 		}
 	})
+}
+
+// Shutdown drains the server gracefully: new submissions are rejected
+// with ErrClosed and registered listeners stop accepting, but every
+// already-admitted request — queued, retrying, or mid-batch — runs to
+// completion before the pool is torn down. A timeout of 0 waits
+// indefinitely; otherwise requests still in flight when it elapses
+// fail with ErrClosed and Shutdown returns an error.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	s.draining.Store(true)
+	s.lmu.Lock()
+	ls := append([]net.Listener(nil), s.listeners...)
+	s.listeners = nil
+	s.lmu.Unlock()
+	for _, l := range ls {
+		l.Close()
+	}
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	for s.outstanding.Load() > 0 {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			n := s.outstanding.Load()
+			s.Close()
+			return fmt.Errorf("serve: shutdown timed out with %d requests in flight", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Close()
+	return nil
 }

@@ -8,7 +8,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/workloads"
 )
 
@@ -313,5 +315,154 @@ func TestLatencyHistogram(t *testing.T) {
 	}
 	if h.percentile(0.99) < p50 {
 		t.Fatalf("p99 < p50")
+	}
+}
+
+// TestServeShutdownDrain: Shutdown rejects new submissions but every
+// already-admitted request completes with a correct reply — nothing
+// in flight is dropped.
+func TestServeShutdownDrain(t *testing.T) {
+	cfg := testConfig()
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 120
+	var wg sync.WaitGroup
+	var ok, bad atomic.Uint64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := s.Get(uint64(i % s.Records()))
+			if err != nil {
+				t.Errorf("admitted request %d dropped during drain: %v", i, err)
+				return
+			}
+			word := workloads.KVRequestWord(false, uint64(i%s.Records()), 0)
+			if v != workloads.KVReference(word, s.ValueWork()) {
+				bad.Add(1)
+				return
+			}
+			ok.Add(1)
+		}(i)
+	}
+	// Let the submitters get admitted, then drain underneath them.
+	for s.Metrics().Requests < n {
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Shutdown(10 * time.Second); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	wg.Wait()
+
+	if bad.Load() != 0 {
+		t.Fatalf("%d drained replies were wrong", bad.Load())
+	}
+	if ok.Load() != n {
+		t.Fatalf("only %d/%d admitted requests completed", ok.Load(), n)
+	}
+	if _, err := s.Get(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-drain get: %v, want ErrClosed", err)
+	}
+	if got := s.outstanding.Load(); got != 0 {
+		t.Fatalf("outstanding after drain = %d, want 0", got)
+	}
+}
+
+// TestServeShutdownListener: a drain closes registered listeners so no
+// new connections are admitted, and ServeListener reports ErrClosed
+// (a clean end) rather than a raw accept error.
+func TestServeShutdownListener(t *testing.T) {
+	s, err := NewServer(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- s.ServeListener(l) }()
+
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Get(1); err != nil {
+		t.Fatalf("pre-drain get: %v", err)
+	}
+
+	if err := s.Shutdown(5 * time.Second); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-served; !errors.Is(err, ErrClosed) {
+		t.Fatalf("ServeListener returned %v, want ErrClosed", err)
+	}
+	if _, err := Dial(l.Addr().String()); err == nil {
+		t.Fatalf("dial succeeded after drain closed the listener")
+	}
+}
+
+// TestServeQuarantineGauge: the quarantined-instances gauge rises when
+// a faulting instance enters the rebuild cycle and returns to zero
+// once clean batches re-prove the pool.
+func TestServeQuarantineGauge(t *testing.T) {
+	cfg := testConfig()
+	cfg.Pool = 1
+	cfg.Batch = 4
+	cfg.SEURate = 2 // always armed: every batch faults
+	cfg.QuarantineAfter = 1
+	cfg.MaxRetries = 6
+	cfg.Seed = 3
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 60; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.Get(uint64(i % s.Records())) //nolint:errcheck — faults expected
+		}(i)
+	}
+	wg.Wait()
+
+	m := s.Metrics()
+	if m.Quarantines == 0 {
+		t.Fatalf("always-armed campaign produced no quarantines: %+v", m)
+	}
+	// The injection campaign is still armed, so the single instance may
+	// legitimately still be quarantined; the gauge must be consistent
+	// with the pool size either way.
+	if m.QuarantinedInstances < 0 || m.QuarantinedInstances > cfg.Pool {
+		t.Fatalf("quarantined gauge %d out of range [0,%d]", m.QuarantinedInstances, cfg.Pool)
+	}
+
+	// The Prometheus exposition and health detail carry the gauge.
+	var sb strings.Builder
+	s.WriteProm(&sb)
+	if !strings.Contains(sb.String(), "haft_serve_quarantined_instances") {
+		t.Fatalf("prometheus exposition missing quarantined_instances gauge")
+	}
+	h := s.Health()
+	if _, ok := h.Detail["quarantined_instances"]; !ok {
+		t.Fatalf("health detail missing quarantined_instances: %+v", h.Detail)
+	}
+
+	// Quarantine state transitions must land in the obs ring.
+	enter := false
+	for _, ev := range s.Ring().Snapshot() {
+		if ev.Kind == obs.KindQuarantine && ev.Label == "enter" {
+			enter = true
+		}
+	}
+	if !enter {
+		t.Fatalf("no quarantine enter event in the obs ring")
 	}
 }
