@@ -20,11 +20,14 @@
 //
 //	-n N            injection budget per campaign (paper: 2500)
 //	-seed N         campaign seed
-//	-mode M         hardening: native, ilr, haft (or a comma list)
+//	-mode M         hardening: native, ilr, haft, tmr (or a comma list)
 //	-scale N        input scale (0 = smallest, as in the paper's FI runs)
 //	-models LIST    fault models: reg,mem,branch,addr,skip,double or "all"
 //	                (empty: classic single-model register campaign)
-//	-flow F         restrict register models to a flow: any, master, shadow
+//	-flow F         restrict register models to a flow: any, master,
+//	                shadow, shadow2; the flow must exist under every
+//	                selected mode (shadow needs ilr/haft/tmr, shadow2
+//	                needs tmr)
 //	-moe F          stop early at this margin of error (e.g. 0.02)
 //	-confidence F   confidence level for intervals and stopping (default 0.95)
 //	-segments N     stratified trace segments (default 4)
@@ -53,10 +56,10 @@ import (
 func main() {
 	n := flag.Int("n", 250, "number of injections per campaign (paper: 2500)")
 	seed := flag.Int64("seed", 1, "campaign seed")
-	mode := flag.String("mode", "haft", "hardening mode: native, ilr, haft (or a comma list)")
+	mode := flag.String("mode", "haft", "hardening mode: native, ilr, haft, tmr (or a comma list)")
 	scale := flag.Int("scale", 0, "input scale (0 = smallest, as in the paper's FI runs)")
 	models := flag.String("models", "", `fault models ("reg,mem,branch,addr,skip,double", "all"; empty = classic register campaign)`)
-	flow := flag.String("flow", "any", "fault flow for register models: any, master, shadow")
+	flow := flag.String("flow", "any", "fault flow for register models: any, master, shadow, shadow2 (must exist under every selected mode)")
 	moe := flag.Float64("moe", 0, "stop early at this margin of error (0 disables, e.g. 0.02)")
 	confidence := flag.Float64("confidence", 0.95, "confidence level for intervals and early stopping")
 	segments := flag.Int("segments", 4, "stratified trace segments")
@@ -84,6 +87,11 @@ func main() {
 	flowVal, err := haft.ParseFaultFlow(*flow)
 	if err != nil {
 		fatal(err)
+	}
+	for _, ms := range strings.Split(*mode, ",") {
+		if err := validateFlow(ms, flowVal); err != nil {
+			fatal(err)
+		}
 	}
 
 	// Live telemetry: per-model progress (runs, SDC CI, abort-cause
@@ -219,10 +227,36 @@ func hardened(name, mode string, scale int) (*haft.Program, error) {
 		cfg.Mode = haft.ModeILR
 	case "haft":
 		cfg.Mode = haft.ModeHAFT
+	case "tmr":
+		cfg.Mode = haft.ModeTMR
 	default:
 		return nil, fmt.Errorf("unknown mode %q", mode)
 	}
 	return haft.Harden(prog, cfg)
+}
+
+// validateFlow rejects flow restrictions that cannot select any
+// instruction under the given hardening mode — e.g. the shadow flow of
+// a native build, or the second TMR shadow under ILR. Without this
+// check the register-indexed models would run against an empty
+// injection population and the campaign would fail (or, worse, report
+// a vacuous zero-SDC result from zero strata).
+func validateFlow(mode string, flow haft.FaultFlow) error {
+	switch flow {
+	case haft.FaultFlowAny, haft.FaultFlowMaster:
+		return nil
+	case haft.FaultFlowShadow:
+		if mode == "native" || mode == "tx" {
+			return fmt.Errorf("flow \"shadow\" does not exist under mode %q: only ilr, haft and tmr build a shadow data flow", mode)
+		}
+		return nil
+	case haft.FaultFlowShadow2:
+		if mode != "tmr" {
+			return fmt.Errorf("flow \"shadow2\" does not exist under mode %q: only tmr builds a second shadow data flow", mode)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown fault flow %v", flow)
 }
 
 func parseModels(s string) ([]haft.FaultModel, error) {

@@ -71,7 +71,7 @@ func main() {
 			}
 			b, err := json.MarshalIndent(doc, "", "  ")
 			if err == nil {
-				name := "BENCH_" + id + ".json"
+				name := "BENCH_" + benchFile(id) + ".json"
 				if err = os.WriteFile(name, append(b, '\n'), 0o644); err == nil {
 					fmt.Printf("[wrote %s]\n", name)
 				}
@@ -83,4 +83,13 @@ func main() {
 		}
 		fmt.Printf("[%s took %s]\n\n", id, elapsed.Round(time.Millisecond))
 	}
+}
+
+// benchFile maps an experiment id to its BENCH_<name>.json stem where
+// the two differ.
+func benchFile(id string) string {
+	if id == "tmrcompare" {
+		return "tmr"
+	}
+	return id
 }

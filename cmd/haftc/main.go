@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	haftc [-mode native|ilr|tx|haft] [-opt N|S|C|L|F] [-threshold N] [-O] [-stats] [-run] [-threads N] [-trace N] [-profile] file.{ir,hc}
+//	haftc [-mode native|ilr|tx|haft|tmr] [-opt N|S|C|L|F] [-threshold N] [-O] [-stats] [-run] [-threads N] [-trace N] [-profile] file.{ir,hc}
 //
 // With -run the program is also executed on the simulated machine and
 // its output and statistics are printed. -profile additionally
@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	mode := flag.String("mode", "haft", "hardening mode: native, ilr, tx, haft")
+	mode := flag.String("mode", "haft", "hardening mode: native, ilr, tx, haft, tmr")
 	opt := flag.String("opt", "F", "optimization level: N, S, C, L, F (cumulative, §3.3)")
 	threshold := flag.Int64("threshold", 1000, "transaction-size threshold in instructions")
 	run := flag.Bool("run", false, "execute the program after hardening")
@@ -73,6 +73,8 @@ func main() {
 		cfg.Mode = haft.ModeTX
 	case "haft":
 		cfg.Mode = haft.ModeHAFT
+	case "tmr":
+		cfg.Mode = haft.ModeTMR
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
@@ -139,6 +141,9 @@ func main() {
 		fmt.Printf("\n; status=%s cycles=%d (%.3g s) instrs=%d aborts=%.2f%% coverage=%.1f%%\n",
 			res.Status, res.Cycles, res.Seconds, res.DynInstrs, res.AbortRate, res.Coverage)
 		fmt.Printf("; output: %v\n", res.Output)
+		if res.CorrectedFaults > 0 {
+			fmt.Printf("; corrected faults: %d\n", res.CorrectedFaults)
+		}
 		if res.CrashReason != "" {
 			fmt.Printf("; crash: %s\n", res.CrashReason)
 		}

@@ -146,6 +146,13 @@ var experimentRunners = map[string]func(exp.Options) (string, error){
 		}
 		return t.String(), nil
 	},
+	"tmrcompare": func(o exp.Options) (string, error) {
+		_, t, err := exp.TMRCompare(o)
+		if err != nil {
+			return "", err
+		}
+		return t, nil
+	},
 }
 
 // experimentData maps experiment ids to runners with a structured,
@@ -193,6 +200,13 @@ var experimentData = map[string]func(exp.Options) (any, string, error){
 			return nil, "", err
 		}
 		return res, t.String(), nil
+	},
+	"tmrcompare": func(o exp.Options) (any, string, error) {
+		res, t, err := exp.TMRCompare(o)
+		if err != nil {
+			return nil, "", err
+		}
+		return res, t, nil
 	},
 }
 

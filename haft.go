@@ -54,6 +54,11 @@ const (
 	ModeILR    = core.ModeILR
 	ModeTX     = core.ModeTX
 	ModeHAFT   = core.ModeHAFT
+	// ModeTMR is the Elzar-style triple-modular-redundancy backend:
+	// three data flows with 2-of-3 majority votes at externalization
+	// points, correcting a diverging replica in place instead of
+	// detecting and aborting.
+	ModeTMR = core.ModeTMR
 )
 
 // OptLevel is the cumulative §3.3 optimization ladder (N/S/C/L/F).
@@ -203,6 +208,9 @@ type Result struct {
 	// Recovered counts transaction rollbacks triggered by ILR checks
 	// that re-executed successfully.
 	Recovered uint64
+	// CorrectedFaults counts TMR majority votes that rewrote a
+	// diverging replica in place (always zero outside ModeTMR).
+	CorrectedFaults uint64
 	// CrashReason explains a "crashed" status.
 	CrashReason string
 }
@@ -214,15 +222,16 @@ func Run(p *Program, threads int) Result {
 	mach.Run(p.prog.SpecsFor(threads)...)
 	st := mach.Stats()
 	return Result{
-		Status:      mach.Status().String(),
-		Output:      mach.Output(),
-		Cycles:      st.Cycles,
-		Seconds:     cpu.CyclesToSeconds(st.Cycles),
-		DynInstrs:   st.DynInstrs,
-		AbortRate:   mach.HTM.Stats.AbortRate(),
-		Coverage:    100 * mach.Coverage(),
-		Recovered:   st.Recovered,
-		CrashReason: st.CrashReason,
+		Status:          mach.Status().String(),
+		Output:          mach.Output(),
+		Cycles:          st.Cycles,
+		Seconds:         cpu.CyclesToSeconds(st.Cycles),
+		DynInstrs:       st.DynInstrs,
+		AbortRate:       mach.HTM.Stats.AbortRate(),
+		Coverage:        100 * mach.Coverage(),
+		Recovered:       st.Recovered,
+		CorrectedFaults: st.CorrectedFaults,
+		CrashReason:     st.CrashReason,
 	}
 }
 
@@ -257,15 +266,16 @@ func Trace(p *Program, threads, max int) (Result, []TraceEvent) {
 	mach.Run(p.prog.SpecsFor(threads)...)
 	st := mach.Stats()
 	return Result{
-		Status:      mach.Status().String(),
-		Output:      mach.Output(),
-		Cycles:      st.Cycles,
-		Seconds:     cpu.CyclesToSeconds(st.Cycles),
-		DynInstrs:   st.DynInstrs,
-		AbortRate:   mach.HTM.Stats.AbortRate(),
-		Coverage:    100 * mach.Coverage(),
-		Recovered:   st.Recovered,
-		CrashReason: st.CrashReason,
+		Status:          mach.Status().String(),
+		Output:          mach.Output(),
+		Cycles:          st.Cycles,
+		Seconds:         cpu.CyclesToSeconds(st.Cycles),
+		DynInstrs:       st.DynInstrs,
+		AbortRate:       mach.HTM.Stats.AbortRate(),
+		Coverage:        100 * mach.Coverage(),
+		Recovered:       st.Recovered,
+		CorrectedFaults: st.CorrectedFaults,
+		CrashReason:     st.CrashReason,
 	}, events
 }
 
@@ -331,19 +341,22 @@ func FaultModels() []FaultModel { return fault.AllModels() }
 // "reg,mem,branch").
 func ParseFaultModels(s string) ([]FaultModel, error) { return fault.ParseModels(s) }
 
-// FaultFlow restricts register-indexed fault models to the master or
-// shadow ILR data flow — injecting into each separately validates the
-// symmetry of the redundant flows.
+// FaultFlow restricts register-indexed fault models to one redundant
+// data flow — the master, the (first) shadow, or the second TMR shadow
+// — injecting into each separately validates the symmetry of the
+// replicated flows.
 type FaultFlow = vm.FaultFlow
 
 // Fault flows.
 const (
-	FaultFlowAny    = vm.FlowAny
-	FaultFlowMaster = vm.FlowMaster
-	FaultFlowShadow = vm.FlowShadow
+	FaultFlowAny     = vm.FlowAny
+	FaultFlowMaster  = vm.FlowMaster
+	FaultFlowShadow  = vm.FlowShadow
+	FaultFlowShadow2 = vm.FlowShadow2
 )
 
-// ParseFaultFlow resolves a flow name ("any", "master", "shadow").
+// ParseFaultFlow resolves a flow name ("any", "master", "shadow",
+// "shadow2").
 func ParseFaultFlow(s string) (FaultFlow, error) { return fault.ParseFlow(s) }
 
 // FaultCampaignConfig parameterizes a multi-model campaign: the model

@@ -1,0 +1,147 @@
+package core_test
+
+// Adversarial probe for the TMR backend: the majority vote's evil twin
+// is a 1-of-3 "vote" that simply trusts the first replica and never
+// compares — structurally a valid tmr.vote call (ir.Verify accepts
+// it), behaviorally no protection at all. The probe applies that
+// rewrite to a hardened module and shows it leaks silent data
+// corruption both under an exhaustive master-flow register sweep and
+// under the fixed-seed six-model campaign, on exactly the models where
+// the shipped 2-of-3 voter keeps the SDC count at zero.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// tmrFixture exercises every vote site the pass emits: replicated
+// arithmetic in a loop, triplicated loads, the vote-store-reload
+// sequence, the branch majority cascade, and externalization.
+const tmrFixture = `
+global acc[4];
+func main() {
+  var i = 0;
+  var x = 7;
+  while (i < 8) {
+    x = x * 3 + i;
+    acc[i & 3] = acc[i & 3] + x;
+    i = i + 1;
+  }
+  out(x);
+  out(acc[0] + acc[1] + acc[2] + acc[3]);
+}
+`
+
+func tmrMode() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Mode = core.ModeTMR
+	return cfg
+}
+
+// unsoundOneOfThreeVote rewrites every majority vote into its evil
+// twin: each replica triple lists the master register three times, so
+// the "vote" trivially agrees with itself and elects replica 0 without
+// ever consulting the shadows. The call keeps the verifier-required
+// triple shape — the rewrite is invisible to ir.Verify — but both the
+// correction and the detection of the data flow are gone.
+func unsoundOneOfThreeVote(m *ir.Module) int {
+	rewrites := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Op != ir.OpCall || in.Callee != "tmr.vote" {
+					continue
+				}
+				for k := 0; k+2 < len(in.Args); k += 3 {
+					in.Args[k+1] = in.Args[k]
+					in.Args[k+2] = in.Args[k]
+				}
+				rewrites++
+			}
+		}
+	}
+	return rewrites
+}
+
+func TestAdversarialOneOfThreeVote(t *testing.T) {
+	sound := hardenSource(t, tmrFixture, tmrMode())
+	sdc, _ := sweep(t, sound, vm.FaultRegister, vm.FlowMaster, 1<<9)
+	if sdc != 0 {
+		t.Fatalf("shipped TMR pipeline: %d master register faults escaped as SDC", sdc)
+	}
+
+	broken := sound.Clone()
+	if n := unsoundOneOfThreeVote(broken); n == 0 {
+		t.Fatalf("unsound rewrite found no votes — fixture is stale")
+	}
+	if err := ir.Verify(broken); err != nil {
+		t.Fatalf("unsound variant must still be structurally valid: %v", err)
+	}
+	sdc, _ = sweep(t, broken, vm.FaultRegister, vm.FlowMaster, 1<<9)
+	if sdc == 0 {
+		t.Fatalf("probe has no teeth: the 1-of-3 vote produced no SDC")
+	}
+	t.Logf("unsound 1-of-3 vote: %d SDCs the 2-of-3 majority prevents", sdc)
+}
+
+// TestAdversarialOneOfThreeVoteCampaign runs the same probe under the
+// fixed-seed six-model gate: on the single-fault models TMR corrects
+// by construction (register, branch, address, skip) the sound build
+// must stay at zero silent corruptions while the evil twin leaks them.
+func TestAdversarialOneOfThreeVoteCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixed-seed campaign is not short")
+	}
+	correctable := []fault.Model{
+		fault.ModelRegister, fault.ModelBranch, fault.ModelAddress, fault.ModelSkip,
+	}
+	gate := func(m *ir.Module, name string) int {
+		res, err := fault.RunCampaign(&fault.Target{
+			Name:    name,
+			Module:  m,
+			Threads: 1,
+			VM:      quietCfg(),
+			Specs:   []vm.ThreadSpec{{Func: "main"}},
+		}, fault.CampaignConfig{
+			Models:     fault.AllModels(),
+			Injections: 240,
+			Seed:       20160419, // fixed: the comparison must be deterministic
+			Segments:   4,
+			Workers:    1,
+		})
+		if err != nil {
+			t.Fatalf("%s campaign: %v", name, err)
+		}
+		sdc := 0
+		for _, model := range correctable {
+			mr := res.ModelResultFor(model)
+			if mr == nil {
+				t.Fatalf("%s campaign: model %s missing", name, model)
+			}
+			sdc += mr.Counts[fault.OutcomeSDC]
+		}
+		return sdc
+	}
+
+	sound := hardenSource(t, tmrFixture, tmrMode())
+	if sdc := gate(sound, "tmr-sound"); sdc != 0 {
+		t.Fatalf("shipped TMR pipeline: %d SDCs on correctable models", sdc)
+	}
+	broken := sound.Clone()
+	if n := unsoundOneOfThreeVote(broken); n == 0 {
+		t.Fatalf("unsound rewrite found no votes — fixture is stale")
+	}
+	if err := ir.Verify(broken); err != nil {
+		t.Fatalf("unsound variant must still be structurally valid: %v", err)
+	}
+	sdc := gate(broken, "tmr-evil-twin")
+	if sdc == 0 {
+		t.Fatalf("probe has no teeth: the 1-of-3 vote survived the six-model gate")
+	}
+	t.Logf("unsound 1-of-3 vote: %d campaign SDCs the 2-of-3 majority prevents", sdc)
+}

@@ -3,7 +3,9 @@
 // described in §3 and §4.1 of the paper: ILR is applied first,
 // replicating the data flow and inserting checks, and TX is applied
 // second, covering the program with hardware transactions and turning
-// check failures into transaction aborts.
+// check failures into transaction aborts. A third, Elzar-style backend
+// (ModeTMR, package tmr) triplicates the data flow and corrects faults
+// in place by majority vote instead of detecting and aborting.
 package core
 
 import (
@@ -12,6 +14,7 @@ import (
 	"repro/internal/ilr"
 	"repro/internal/ir"
 	"repro/internal/opt"
+	"repro/internal/tmr"
 	"repro/internal/tx"
 )
 
@@ -30,6 +33,11 @@ const (
 	ModeTX
 	// ModeHAFT applies ILR followed by TX: detection plus recovery.
 	ModeHAFT
+	// ModeTMR applies Elzar-style triple modular redundancy: the data
+	// flow is triplicated and majority votes at externalization points
+	// correct a diverging replica in place — no transactions, no
+	// aborts, no re-execution.
+	ModeTMR
 )
 
 // String returns the mode name.
@@ -43,6 +51,8 @@ func (m Mode) String() string {
 		return "tx"
 	case ModeHAFT:
 		return "haft"
+	case ModeTMR:
+		return "tmr"
 	}
 	return "mode?"
 }
@@ -148,6 +158,18 @@ func ReducedConfig() Config {
 	return c
 }
 
+// tmrOptions maps an OptLevel onto the TMR pass switches. The pass
+// has no shared-memory or fault-propagation variants (loads are
+// always triplicated; divergent replicas are corrected at the next
+// vote, so induction variables cannot diverge silently); only the
+// branch-majority cascade rides the ladder.
+func tmrOptions(o OptLevel) tmr.Options {
+	return tmr.Options{
+		ControlFlow: o >= OptControlFlow,
+		Peephole:    true,
+	}
+}
+
 // ilrOptions maps an OptLevel onto the ILR pass switches.
 func ilrOptions(o OptLevel) ilr.Options {
 	return ilr.Options{
@@ -227,6 +249,8 @@ func HardenWithStats(m *ir.Module, cfg Config) (*ir.Module, HardenStats, error) 
 			return nil, st, err
 		}
 		tx.Apply(out, txOptions(cfg))
+	case ModeTMR:
+		tmr.Apply(out, tmrOptions(cfg.Opt))
 	default:
 		return nil, st, fmt.Errorf("core: unknown mode %d", cfg.Mode)
 	}

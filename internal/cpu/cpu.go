@@ -87,6 +87,8 @@ func IntrinsicLatency(name string) uint64 {
 		return 2
 	case "tx.check":
 		return 2 // pairwise compare + flag set, no branch
+	case "tmr.vote":
+		return 3 // two compares + cmov-style majority select per triple
 
 	case "ilr.fail", "haft.crash":
 		return 1

@@ -1,0 +1,185 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+// TMROverheadRow is one benchmark's normalized-runtime ladder: each
+// hardening backend's cycles over the native build's.
+type TMROverheadRow struct {
+	Bench string `json:"bench"`
+	// ILR / HAFT / TMR are runtime factors over native.
+	ILR  float64 `json:"ilr"`
+	HAFT float64 `json:"haft"`
+	TMR  float64 `json:"tmr"`
+	// HAFTAbortPct is the HTM abort rate of the HAFT run (TMR runs no
+	// transactions, so its abort rate is identically zero).
+	HAFTAbortPct float64 `json:"haft_abort_pct"`
+}
+
+// TMRModelRow is one (benchmark, mode, fault model) campaign summary.
+type TMRModelRow struct {
+	Bench string `json:"bench"`
+	Mode  string `json:"mode"`
+	Model string `json:"model"`
+	Runs  int    `json:"runs"`
+	// Outcome rates in percent.
+	CrashedPct   float64 `json:"crashed_pct"`
+	DetectedPct  float64 `json:"detected_pct"`
+	CorrectedPct float64 `json:"corrected_pct"`
+	MaskedPct    float64 `json:"masked_pct"`
+	SDCPct       float64 `json:"sdc_pct"`
+	// CorrectedRuns counts runs whose output was correct after an
+	// active correction (HAFT rollback or TMR vote); CorrectedFaults
+	// sums the individual vote corrections across the model's runs.
+	CorrectedRuns   int    `json:"corrected_runs"`
+	CorrectedFaults uint64 `json:"corrected_faults"`
+	SDCRuns         int    `json:"sdc_runs"`
+}
+
+// TMRCompareResult is the machine-readable result of the tmrcompare
+// experiment (written as BENCH_tmr.json by haftbench -json).
+type TMRCompareResult struct {
+	Overhead []TMROverheadRow `json:"overhead"`
+	Models   []TMRModelRow    `json:"models"`
+	// TMR headline aggregates across every benchmark.
+	//
+	// TMRCorrectedRuns / TMRCorrectedFaults count the tmr campaigns'
+	// vote activity. TMRSDCRunsCorrectable counts tmr SDCs under the
+	// single-fault models TMR guarantees to tolerate (reg, branch,
+	// addr, skip); it must be zero. TMRSDCRuns additionally includes
+	// the mem and double models, where a flipped memory cell survives
+	// voting (only one copy of the data exists in memory) — the same
+	// residual channel ilr+tx has.
+	TMRCorrectedRuns      int    `json:"tmr_corrected_runs"`
+	TMRCorrectedFaults    uint64 `json:"tmr_corrected_faults"`
+	TMRSDCRuns            int    `json:"tmr_sdc_runs"`
+	TMRSDCRunsCorrectable int    `json:"tmr_sdc_runs_correctable"`
+}
+
+// correctableModels are the fault models whose single-fault upsets TMR
+// corrects (or crashes on) by construction: a flipped replica register,
+// a skipped replica instruction, a mis-taken branch, or a corrupted
+// address register never reaches the output. Memory-word flips and
+// double upsets are excluded: once data lives in its single memory
+// copy, voting cannot restore it.
+var correctableModels = map[fault.Model]bool{
+	fault.ModelRegister: true,
+	fault.ModelBranch:   true,
+	fault.ModelAddress:  true,
+	fault.ModelSkip:     true,
+}
+
+// TMRCompare runs the ilr+tx (HAFT) vs TMR comparison: the normalized
+// overhead ladder at o.PerfThreads, then the full six-model
+// fault-injection campaign against both hardened builds of each
+// benchmark. The tables show where the two designs trade blows: HAFT
+// detects and re-executes (paying HTM aborts), TMR votes and keeps
+// going (paying a third data flow).
+func TMRCompare(o Options) (*TMRCompareResult, string, error) {
+	list := o.Benchmarks
+	if len(list) == 0 {
+		list = fiModelBenches
+	}
+	res := &TMRCompareResult{}
+	models := fault.AllModels()
+
+	over := &report.Table{
+		Title: fmt.Sprintf("tmrcompare: normalized runtime vs native (%d threads)",
+			o.PerfThreads),
+		Header: []string{"benchmark", "ILR", "HAFT", "TMR", "HAFT-abort%"},
+	}
+	type overOut struct {
+		row TMROverheadRow
+		err error
+	}
+	overs := parallelMap(len(list), func(i int) overOut {
+		spec, err := workloads.ByName(list[i])
+		if err != nil {
+			return overOut{err: err}
+		}
+		p := spec.Build(o.Scale)
+		nat := measure(p, core.ModeNative, core.OptFaultProp, p.TxThreshold, o.PerfThreads, nil)
+		ilrS := measure(p, core.ModeILR, core.OptFaultProp, p.TxThreshold, o.PerfThreads, nil)
+		haftS := measure(p, core.ModeHAFT, core.OptFaultProp, p.TxThreshold, o.PerfThreads, nil)
+		tmrS := measure(p, core.ModeTMR, core.OptFaultProp, p.TxThreshold, o.PerfThreads, nil)
+		return overOut{row: TMROverheadRow{
+			Bench:        list[i],
+			ILR:          float64(ilrS.Cycles) / float64(nat.Cycles),
+			HAFT:         float64(haftS.Cycles) / float64(nat.Cycles),
+			TMR:          float64(tmrS.Cycles) / float64(nat.Cycles),
+			HAFTAbortPct: haftS.AbortRate,
+		}}
+	})
+	for _, ov := range overs {
+		if ov.err != nil {
+			return nil, "", ov.err
+		}
+		res.Overhead = append(res.Overhead, ov.row)
+		over.AddF(2, ov.row.Bench, ov.row.ILR, ov.row.HAFT, ov.row.TMR, ov.row.HAFTAbortPct)
+	}
+
+	camp := &report.Table{
+		Title: fmt.Sprintf("tmrcompare: six-model fault injection, ilr+tx vs tmr (%d injections/model)",
+			o.Injections),
+		Header: []string{"benchmark", "mode", "model", "runs",
+			"crashed%", "detected%", "corrected%", "masked%", "SDC%", "votes"},
+	}
+	for _, name := range list {
+		spec, err := workloads.ByName(name)
+		if err != nil {
+			return nil, "", err
+		}
+		for _, mode := range []core.Mode{core.ModeHAFT, core.ModeTMR} {
+			tg := fiTarget(spec, mode, core.OptFaultProp, o)
+			cr, err := fault.RunCampaign(tg, fault.CampaignConfig{
+				Models:     models,
+				Injections: o.Injections * len(models),
+				Seed:       o.Seed,
+				MOE:        o.MOE,
+			})
+			if err != nil {
+				return nil, "", err
+			}
+			for _, mr := range cr.PerModel {
+				row := TMRModelRow{
+					Bench:           name,
+					Mode:            mode.String(),
+					Model:           mr.Model.String(),
+					Runs:            mr.Total,
+					CrashedPct:      mr.ClassRate(fault.ClassCrashed),
+					DetectedPct:     mr.Rate(fault.OutcomeILRDetected),
+					CorrectedPct:    mr.Rate(fault.OutcomeHAFTCorrected),
+					MaskedPct:       mr.Rate(fault.OutcomeMasked),
+					SDCPct:          mr.Rate(fault.OutcomeSDC),
+					CorrectedRuns:   mr.Counts[fault.OutcomeHAFTCorrected],
+					CorrectedFaults: mr.CorrectedFaults,
+					SDCRuns:         mr.Counts[fault.OutcomeSDC],
+				}
+				res.Models = append(res.Models, row)
+				if mode == core.ModeTMR {
+					res.TMRCorrectedRuns += row.CorrectedRuns
+					res.TMRCorrectedFaults += row.CorrectedFaults
+					res.TMRSDCRuns += row.SDCRuns
+					if correctableModels[mr.Model] {
+						res.TMRSDCRunsCorrectable += row.SDCRuns
+					}
+				}
+				camp.AddF(1, name, row.Mode, row.Model, float64(row.Runs),
+					row.CrashedPct, row.DetectedPct, row.CorrectedPct,
+					row.MaskedPct, row.SDCPct, float64(row.CorrectedFaults))
+			}
+		}
+	}
+
+	text := over.String() + "\n" + camp.String() +
+		fmt.Sprintf("\ntmr totals: %d corrected runs (%d vote corrections), %d SDC runs (%d on correctable models)\n",
+			res.TMRCorrectedRuns, res.TMRCorrectedFaults,
+			res.TMRSDCRuns, res.TMRSDCRunsCorrectable)
+	return res, text, nil
+}

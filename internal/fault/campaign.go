@@ -131,8 +131,8 @@ func ParseModels(s string) ([]Model, error) {
 	return out, nil
 }
 
-// ParseFlow resolves a fault-flow name ("any", "master", "shadow";
-// empty selects FlowAny).
+// ParseFlow resolves a fault-flow name ("any", "master", "shadow",
+// "shadow2"; empty selects FlowAny).
 func ParseFlow(s string) (vm.FaultFlow, error) {
 	switch s {
 	case "", "any":
@@ -141,8 +141,10 @@ func ParseFlow(s string) (vm.FaultFlow, error) {
 		return vm.FlowMaster, nil
 	case "shadow":
 		return vm.FlowShadow, nil
+	case "shadow2":
+		return vm.FlowShadow2, nil
 	}
-	return 0, fmt.Errorf("fault: unknown fault flow %q (have any master shadow)", s)
+	return 0, fmt.Errorf("fault: unknown fault flow %q (have any master shadow shadow2)", s)
 }
 
 // minPerModel is the smallest campaign a model must run before its
@@ -251,6 +253,9 @@ type ModelResult struct {
 	// Recovered sums ILR-triggered rollbacks that re-executed
 	// successfully across the model's runs.
 	Recovered uint64 `json:"recovered"`
+	// CorrectedFaults sums TMR majority-vote corrections across the
+	// model's runs (zero outside ModeTMR targets).
+	CorrectedFaults uint64 `json:"corrected_faults"`
 	// HTM aggregates the transactional activity the injections
 	// triggered (abort causes, fallbacks).
 	HTM htm.Stats `json:"htm"`
@@ -439,7 +444,9 @@ func population(m Model, flow vm.FaultFlow, st vm.RunStats) uint64 {
 	case ModelRegister, ModelSkip, ModelDouble:
 		switch flow {
 		case vm.FlowShadow:
-			return st.ShadowRegWrites
+			return st.ShadowRegWrites - st.Shadow2RegWrites
+		case vm.FlowShadow2:
+			return st.Shadow2RegWrites
 		case vm.FlowMaster:
 			return st.RegWrites - st.ShadowRegWrites
 		}
@@ -494,6 +501,7 @@ type runRecord struct {
 	outcome   Outcome
 	site      string
 	recovered uint64
+	corrected uint64
 	htm       htm.Stats
 }
 
@@ -594,6 +602,7 @@ func RunCampaign(t *Target, cfg CampaignConfig) (*CampaignResult, error) {
 					rec := runRecord{
 						outcome:   Classify(mach, refOut),
 						recovered: mach.Stats().Recovered,
+						corrected: mach.Stats().CorrectedFaults,
 						htm:       mach.HTM.Stats,
 					}
 					for _, p := range plans {
@@ -619,6 +628,7 @@ func RunCampaign(t *Target, cfg CampaignConfig) (*CampaignResult, error) {
 			mr.Total++
 			mr.Counts[rec.outcome]++
 			mr.Recovered += rec.recovered
+			mr.CorrectedFaults += rec.corrected
 			mr.HTM.Merge(rec.htm)
 			if rec.site != "" {
 				s := mr.Sites[rec.site]

@@ -296,7 +296,11 @@ func Classify(mach *vm.Machine, refOut []uint64) Outcome {
 			return OutcomeSDC
 		}
 	}
-	if mach.Stats().ExplicitAborts > 0 {
+	// Output correct with an active correction event: HAFT's abort +
+	// re-execution or TMR's in-place majority-vote correction both
+	// count as "corrected" (vs merely masked).
+	st := mach.Stats()
+	if st.ExplicitAborts > 0 || st.CorrectedFaults > 0 {
 		return OutcomeHAFTCorrected
 	}
 	return OutcomeMasked

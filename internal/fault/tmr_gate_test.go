@@ -1,0 +1,96 @@
+package fault_test
+
+// Fixed-seed reliability gate for the TMR backend: under the fault
+// models whose single upsets TMR corrects by construction (register
+// flip, branch inversion, address fault, instruction skip) the
+// campaign must show zero silent corruptions, with the majority votes
+// actively correcting (not merely masking) a healthy share of them.
+// The memory-word and double-upset models keep the residual channel
+// every single-memory-copy scheme has — a flipped cell re-read
+// consistently defeats both ILR's duplicated loads and TMR's
+// triplicated ones — so those are gated relative to the ilr+tx
+// baseline instead of at zero.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+)
+
+func TestTMRGateCorrectableModelsZeroSDC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixed-seed campaign is not short")
+	}
+	cfg := core.DefaultConfig()
+	cfg.Mode = core.ModeTMR
+	res := campaignFor(t, "tmr", cfg)
+
+	var corrected uint64
+	correctedRuns := 0
+	for _, m := range fault.AllModels() {
+		mr := res.ModelResultFor(m)
+		if mr == nil {
+			t.Fatalf("model %s missing from campaign", m)
+		}
+		corrected += mr.CorrectedFaults
+		correctedRuns += mr.Counts[fault.OutcomeHAFTCorrected]
+		t.Logf("tmr/%s: %d runs, corrupted %.1f%%, corrected %.1f%% (%d vote corrections)",
+			m, mr.Total, mr.ClassRate(fault.ClassCorrupted),
+			mr.Rate(fault.OutcomeHAFTCorrected), mr.CorrectedFaults)
+		switch m {
+		case fault.ModelRegister, fault.ModelBranch, fault.ModelAddress, fault.ModelSkip:
+			if sdc := mr.Counts[fault.OutcomeSDC]; sdc != 0 {
+				t.Errorf("tmr/%s: %d silent corruptions on a TMR-correctable model", m, sdc)
+			}
+		}
+	}
+	if corrected == 0 {
+		t.Error("campaign observed no vote corrections at all")
+	}
+	if correctedRuns == 0 {
+		t.Error("no run was classified as corrected")
+	}
+}
+
+func TestTMRGateResidualModelsNoWorseThanILR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixed-seed campaign is not short")
+	}
+	// The baseline for the memory-domain models is ILR, not full HAFT:
+	// HAFT's transactions genuinely recover memory flips by restoring
+	// the write set on rollback, a capability TMR deliberately trades
+	// away for abort-free forward recovery (and ILR never had). Against
+	// ILR the comparison is like for like — both schemes hold exactly
+	// one copy of the data in memory.
+	tcfg := core.DefaultConfig()
+	tcfg.Mode = core.ModeTMR
+	tmrRes := campaignFor(t, "tmr", tcfg)
+	icfg := core.DefaultConfig()
+	icfg.Mode = core.ModeILR
+	ilrRes := campaignFor(t, "ilr-baseline", icfg)
+
+	for _, m := range []fault.Model{fault.ModelMemory, fault.ModelDouble} {
+		tr := tmrRes.ModelResultFor(m)
+		ir := ilrRes.ModelResultFor(m)
+		tRate := tr.ClassRate(fault.ClassCorrupted)
+		iRate := ir.ClassRate(fault.ClassCorrupted)
+		t.Logf("%s: corrupted %.1f%% tmr vs %.1f%% ilr (%d runs each)",
+			m, tRate, iRate, tr.Total)
+		// Bounded allowance: the schemes split borderline runs
+		// differently. A flip landing between the first and second
+		// replica load leaves the two shadow loads agreeing on the
+		// flipped value, and the vote then "corrects" the master into
+		// the corruption — runs ILR would have fail-stopped on. The
+		// slack bounds that documented channel at a few runs of the
+		// fixed-seed campaign.
+		slack := 5.0
+		if m == fault.ModelMemory {
+			slack = 10.0
+		}
+		if tRate > iRate+slack {
+			t.Errorf("%s: TMR silent-corruption rate %.1f%% exceeds the ILR baseline %.1f%% beyond slack",
+				m, tRate, iRate)
+		}
+	}
+}

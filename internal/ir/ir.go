@@ -75,6 +75,12 @@ const (
 	// replica mov: doing so would collapse a master/shadow check into
 	// comparing the master register with itself.
 	FlagReplica
+	// FlagShadow2 marks instructions belonging to the second shadow
+	// data flow of the TMR pass. TMR replicas carry FlagShadow as well
+	// (both shadow flows are "shadow" to the machine's accounting);
+	// FlagShadow2 distinguishes the third replica so fault campaigns
+	// can target each of the three flows independently.
+	FlagShadow2
 )
 
 // Instr is a single IR instruction. Not every field is meaningful for

@@ -251,6 +251,8 @@ func parseInstr(text string, lineno int, blockIdx map[string]int) (Instr, error)
 				in.Flags |= FlagExtern
 			case "replica":
 				in.Flags |= FlagReplica
+			case "shadow2":
+				in.Flags |= FlagShadow2
 			default:
 				return fail("unknown flag %q", fl)
 			}

@@ -112,6 +112,9 @@ func formatInstr(f *Func, in *Instr) string {
 		if in.HasFlag(FlagReplica) {
 			fl = append(fl, "replica")
 		}
+		if in.HasFlag(FlagShadow2) {
+			fl = append(fl, "shadow2")
+		}
 		sb.WriteString(" !" + strings.Join(fl, ",")) //nolint
 	}
 	return sb.String()

@@ -44,6 +44,7 @@ func Verify(m *Module) error {
 func IsIntrinsic(name string) bool {
 	switch name {
 	case "tx.begin", "tx.end", "tx.cond_split", "tx.counter_inc", "tx.check",
+		"tmr.vote",
 		"ilr.fail", "haft.crash",
 		"lock.acquire", "lock.release",
 		"lock.acquire_elide", "lock.release_elide",
@@ -225,6 +226,22 @@ func checkShape(m *Module, f *Func, b *Block, i int, in *Instr) error {
 			}
 			if in.Res != NoValue {
 				return errf("tx.check must not define a result")
+			}
+		}
+		if in.Callee == "tmr.vote" {
+			// Variadic replica-triple list: (m1, s1, s2', m2, ...). The
+			// vote corrects the outlier of each triple back into all
+			// three registers, so every operand must be a register.
+			if len(in.Args) == 0 || len(in.Args)%3 != 0 {
+				return errf("tmr.vote wants a non-zero multiple of 3 operands, has %d", len(in.Args))
+			}
+			if in.Res != NoValue {
+				return errf("tmr.vote must not define a result")
+			}
+			for k, a := range in.Args {
+				if a.IsConst {
+					return errf("tmr.vote operand %d is a constant; votes correct registers in place", k)
+				}
 			}
 		}
 		return nil

@@ -28,8 +28,9 @@ import (
 // engineVariants is the hardening matrix for the engine fuzzer: the
 // interesting lowering shapes are native code (no replicas, nothing to
 // fuse), plain ILR (master/shadow pairs and checks — the fused-run and
-// pair-check paths), and full HAFT with every reduction pass (long
-// coalesced runs crossing transaction boundaries).
+// pair-check paths), full HAFT with every reduction pass (long
+// coalesced runs crossing transaction boundaries), and TMR (triple
+// runs and the fused triad-vote superinstruction).
 func engineVariants() []fuzzVariant {
 	return []fuzzVariant{
 		{"native", core.Config{Mode: core.ModeNative}},
@@ -37,6 +38,7 @@ func engineVariants() []fuzzVariant {
 		{"ilr/m14", reductionConfig(core.ModeILR, 14, false)},
 		{"haft/m00", reductionConfig(core.ModeHAFT, 0, false)},
 		{"haft/m15", reductionConfig(core.ModeHAFT, 15, false)},
+		{"tmr", tmrConfig(false)},
 	}
 }
 

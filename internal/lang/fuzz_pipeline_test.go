@@ -4,7 +4,8 @@ package lang
 // programs are executed natively and under every combination of the
 // four overhead-reduction toggles (TX-aware relaxation, copy
 // propagation, redundant-check elimination, check coalescing), in both
-// ILR and full-HAFT modes, with and without the scalar pre-pass. Every
+// ILR and full-HAFT modes plus the voting TMR backend, with and
+// without the scalar pre-pass. Every
 // variant must produce byte-identical output — or fail in the same way
 // when the reference interpreter rejects the program (e.g. division by
 // zero).
@@ -46,6 +47,18 @@ func reductionConfig(mode core.Mode, mask int, optimize bool) core.Config {
 	return cfg
 }
 
+// tmrConfig builds the triple-modular-redundancy configuration. The
+// four reduction toggles only exist for the pair-check passes (core
+// skips them in TMR mode), so the TMR leg of the matrix is just the
+// pass itself, with and without the scalar pre-pass.
+func tmrConfig(optimize bool) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Mode = core.ModeTMR
+	cfg.TxThreshold = 300
+	cfg.Optimize = optimize
+	return cfg
+}
+
 // fuzzVariant names one hardening configuration of the matrix.
 type fuzzVariant struct {
 	name string
@@ -75,6 +88,8 @@ func fuzzVariants() []fuzzVariant {
 	vs = append(vs,
 		fuzzVariant{"haft/O+all", reductionConfig(core.ModeHAFT, 15, true)},
 		fuzzVariant{"ilr/O+all", reductionConfig(core.ModeILR, 14, true)},
+		fuzzVariant{"tmr", tmrConfig(false)},
+		fuzzVariant{"tmr/O", tmrConfig(true)},
 	)
 	return vs
 }
@@ -92,11 +107,13 @@ func variantsForSeed(seed int) []fuzzVariant {
 		{fmt.Sprintf("haft/m%02d", hm), reductionConfig(core.ModeHAFT, hm, false)},
 		{fmt.Sprintf("ilr/m%02d", im), reductionConfig(core.ModeILR, im, false)},
 		{"haft/m15", reductionConfig(core.ModeHAFT, 15, false)},
+		{"tmr", tmrConfig(false)},
 	}
 	if seed%8 == 0 {
 		vs = append(vs,
 			fuzzVariant{"haft/O+all", reductionConfig(core.ModeHAFT, 15, true)},
 			fuzzVariant{"ilr/O+all", reductionConfig(core.ModeILR, 14, true)},
+			fuzzVariant{"tmr/O", tmrConfig(true)},
 		)
 	}
 	return vs

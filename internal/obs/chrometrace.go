@@ -119,6 +119,12 @@ func writeChromeArgs(b *bytes.Buffer, ev *Event) {
 		if ev.Label != "" {
 			arg(&first, "node", quoteJSON(ev.Label))
 		}
+	case KindVoteCorrect:
+		arg(&first, "majority", u(ev.A))
+		arg(&first, "outlier", u(ev.B))
+		if ev.Label != "" {
+			arg(&first, "site", quoteJSON(ev.Label))
+		}
 	case KindFailover:
 		arg(&first, "shard", u(ev.A))
 		if ev.Label != "" {

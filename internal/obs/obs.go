@@ -71,6 +71,10 @@ const (
 	// the new state ("healthy", "quarantined", "rebuilding", "dead"),
 	// A the node's generation.
 	KindNodeState
+	// KindVoteCorrect records a TMR majority vote correcting a
+	// diverging replica in place; A is the majority value, B the
+	// outlier value, Label the voting site.
+	KindVoteCorrect
 
 	numKinds
 )
@@ -92,6 +96,7 @@ var kindNames = [numKinds]string{
 	KindVoteMask:     "vote.mask",
 	KindFailover:     "failover",
 	KindNodeState:    "node.state",
+	KindVoteCorrect:  "vote.correct",
 }
 
 func (k Kind) String() string {

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/workloads"
 )
 
@@ -68,6 +69,73 @@ func TestServeChaosZeroCorrupted(t *testing.T) {
 	}
 	if m.Rebuilds == 0 {
 		t.Fatal("kills must rebuild instances")
+	}
+	if m.Responses+m.Failed != n {
+		t.Fatalf("accounting: responses %d + failed %d != %d", m.Responses, m.Failed, n)
+	}
+}
+
+// TestServeChaosTMRZeroCorrupted serves from a TMR-hardened pool with
+// host-side verification switched OFF: the majority votes inside the
+// program are the only line of defense against the SEU campaign, and
+// every delivered reply must still match the reference while the
+// corrected-faults counter shows the votes actively working. The HAFT
+// pool earns the same invariant via transactions plus the host
+// verifier; the TMR pool must earn it standalone and transaction-free.
+func TestServeChaosTMRZeroCorrupted(t *testing.T) {
+	cfg := testConfig()
+	cfg.Pool = 3
+	cfg.Seed = 37
+	cfg.MaxRetries = 8
+	cfg.Verify = false // no host-side safety net: the votes are it
+	cfg.SEURate = 0.5
+	cfg.Harden = core.DefaultConfig()
+	cfg.Harden.Mode = core.ModeTMR
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const n = 300
+	var wg sync.WaitGroup
+	var bad, failed atomic.Uint64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := Request{Write: i%4 == 0, Key: uint64(i % s.Records()), Value: uint64(i)}
+			v, err := s.Do(req)
+			if err != nil {
+				failed.Add(1) // loud failure, never a corrupted reply
+				return
+			}
+			word := workloads.KVRequestWord(req.Write, req.Key, req.Value)
+			if v != workloads.KVReference(word, s.ValueWork()) {
+				bad.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	m := s.Metrics()
+	t.Logf("tmr: injected=%d voteCorrections=%d faultedRuns=%d retries=%d failed=%d",
+		m.InjectedFaults, m.VoteCorrections, m.FaultedRuns, m.Retries, failed.Load())
+	if bad.Load() != 0 {
+		t.Fatalf("%d delivered replies were wrong with verification off", bad.Load())
+	}
+	if m.InjectedFaults == 0 {
+		t.Fatal("SEU campaign armed nothing — the test exercised no faults")
+	}
+	if m.VoteCorrections == 0 {
+		t.Fatal("TMR pool corrected no faults by vote")
+	}
+	if m.CorrectedFaults < m.VoteCorrections {
+		t.Fatalf("corrected_faults %d < vote_corrections %d: votes must feed the corrected counter",
+			m.CorrectedFaults, m.VoteCorrections)
+	}
+	if m.TxStarted != 0 {
+		t.Fatalf("TMR pool started %d transactions; TMR must serve transaction-free", m.TxStarted)
 	}
 	if m.Responses+m.Failed != n {
 		t.Fatalf("accounting: responses %d + failed %d != %d", m.Responses, m.Failed, n)

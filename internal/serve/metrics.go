@@ -139,11 +139,15 @@ type Metrics struct {
 	// quarantine/rebuild cycle (entered on a faulted batch, exited on
 	// the first clean batch after rebuild).
 	quarantinedNow int
-	chaos       map[string]uint64
-	deadlines   uint64
+	chaos          map[string]uint64
+	deadlines      uint64
 
 	injected uint64
-	corrected uint64
+	// corrected counts faults absorbed without failing the run: HAFT
+	// transaction rollbacks plus TMR majority-vote corrections.
+	// voteCorrections is the TMR share of that total.
+	corrected       uint64
+	voteCorrections uint64
 	// corrupted counts corrupted replies DELIVERED to clients; with
 	// verification on, the serving layer's invariant is that this
 	// stays zero (detections become verifyRejects and retries).
@@ -191,6 +195,7 @@ func (m *Metrics) quarantine() {
 	m.rebuilds++
 	m.mu.Unlock()
 }
+
 // quarantineEnter/quarantineExit track the live count of instances in
 // the quarantine/rebuild cycle (exported as the
 // serve_quarantined_instances gauge).
@@ -244,7 +249,8 @@ func (m *Metrics) run(status vm.Status, st vm.RunStats, hs htm.Stats) {
 	if status != vm.StatusOK {
 		m.faultedRuns++
 	}
-	m.corrected += st.Recovered
+	m.corrected += st.Recovered + st.CorrectedFaults
+	m.voteCorrections += st.CorrectedFaults
 	m.txStarted += hs.Started
 	m.txCommitted += hs.Committed
 	m.fallbacks += hs.FallbackRuns
@@ -275,8 +281,12 @@ type Snapshot struct {
 	ChaosEvents      map[string]uint64 `json:"chaos_events"`
 	DeadlineFailures uint64            `json:"deadline_failures"`
 
-	InjectedFaults  uint64 `json:"injected_faults"`
+	InjectedFaults uint64 `json:"injected_faults"`
+	// CorrectedFaults counts faults absorbed without failing the run
+	// (HAFT rollbacks plus TMR vote corrections); VoteCorrections is
+	// the TMR majority-vote share of that total.
 	CorrectedFaults uint64 `json:"corrected_faults"`
+	VoteCorrections uint64 `json:"vote_corrections"`
 	// VerifyRejects counts corrupted replies the verifier caught and
 	// converted into retries; CorruptedReplies counts corruptions
 	// actually delivered (zero while verification is on).
@@ -305,34 +315,35 @@ func (m *Metrics) Snapshot() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Snapshot{
-		ElapsedSeconds:   time.Since(m.start).Seconds(),
-		Requests:         m.requests,
-		Responses:        m.responses,
-		Failed:           m.failed,
-		Rejected:         m.rejected,
-		Retries:          m.retries,
-		Runs:             m.runs,
-		FaultedRuns:      m.faultedRuns,
-		RunStatus:        map[string]uint64{},
+		ElapsedSeconds:       time.Since(m.start).Seconds(),
+		Requests:             m.requests,
+		Responses:            m.responses,
+		Failed:               m.failed,
+		Rejected:             m.rejected,
+		Retries:              m.retries,
+		Runs:                 m.runs,
+		FaultedRuns:          m.faultedRuns,
+		RunStatus:            map[string]uint64{},
 		Quarantines:          m.quarantines,
 		Rebuilds:             m.rebuilds,
 		QuarantinedInstances: m.quarantinedNow,
-		ChaosEvents:      map[string]uint64{},
-		DeadlineFailures: m.deadlines,
-		InjectedFaults:   m.injected,
-		CorrectedFaults:  m.corrected,
-		VerifyRejects:    m.verifyRejects,
-		CorruptedReplies: m.corrupted,
-		TxStarted:        m.txStarted,
-		TxCommitted:      m.txCommitted,
-		FallbackRuns:     m.fallbacks,
-		AbortCauses:      map[string]uint64{},
-		LatencyP50:       m.hist.percentile(0.50),
-		LatencyP95:       m.hist.percentile(0.95),
-		LatencyP99:       m.hist.percentile(0.99),
-		LatencyMax:       float64(m.hist.max) / 1e9,
-		PoolBusy:         m.poolBusy,
-		PoolSize:         m.poolSize,
+		ChaosEvents:          map[string]uint64{},
+		DeadlineFailures:     m.deadlines,
+		InjectedFaults:       m.injected,
+		CorrectedFaults:      m.corrected,
+		VoteCorrections:      m.voteCorrections,
+		VerifyRejects:        m.verifyRejects,
+		CorruptedReplies:     m.corrupted,
+		TxStarted:            m.txStarted,
+		TxCommitted:          m.txCommitted,
+		FallbackRuns:         m.fallbacks,
+		AbortCauses:          map[string]uint64{},
+		LatencyP50:           m.hist.percentile(0.50),
+		LatencyP95:           m.hist.percentile(0.95),
+		LatencyP99:           m.hist.percentile(0.99),
+		LatencyMax:           float64(m.hist.max) / 1e9,
+		PoolBusy:             m.poolBusy,
+		PoolSize:             m.poolSize,
 	}
 	for k, v := range m.runStatus {
 		s.RunStatus[k] = v
@@ -386,7 +397,8 @@ func (s Snapshot) Summary() string {
 	t.Add("chaos events", mapLine(s.ChaosEvents))
 	t.AddF(0, "deadline failures", s.DeadlineFailures)
 	t.AddF(0, "injected faults (SEU)", s.InjectedFaults)
-	t.AddF(0, "corrected faults (tx rollback)", s.CorrectedFaults)
+	t.AddF(0, "corrected faults (rollback + votes)", s.CorrectedFaults)
+	t.AddF(0, "vote corrections (tmr)", s.VoteCorrections)
 	t.AddF(0, "verification rejects (caught SDCs)", s.VerifyRejects)
 	t.AddF(0, "corrupted replies", s.CorruptedReplies)
 	t.AddF(0, "transactions started", s.TxStarted)
@@ -439,7 +451,8 @@ func (m *Metrics) WriteProm(w io.Writer) {
 	labeled("chaos_events_total", "chaos-layer events", "kind", m.chaos)
 	c("deadline_failures_total", "requests failed on deadline", m.deadlines)
 	c("injected_faults_total", "SEU campaign injections", m.injected)
-	c("corrected_faults_total", "faults absorbed by tx rollback", m.corrected)
+	c("corrected_faults_total", "faults absorbed by tx rollback or TMR majority votes", m.corrected)
+	c("vote_corrections_total", "faults corrected in place by TMR majority votes", m.voteCorrections)
 	c("verify_rejects_total", "corrupted replies caught by verification", m.verifyRejects)
 	c("corrupted_replies_total", "corrupted replies delivered", m.corrupted)
 	c("tx_started_total", "hardware transactions started", m.txStarted)

@@ -66,7 +66,10 @@ type Config struct {
 	// which an instance is quarantined and rebuilt.
 	QuarantineAfter int
 	// Harden selects the hardening pipeline for the serving program
-	// (default: full HAFT).
+	// (default: full HAFT). Mode TMR serves from a triple-modular-
+	// redundant build whose majority votes correct faults in place —
+	// no transactions, no aborts — and feeds the vote-corrections
+	// counter instead of the rollback path.
 	Harden core.Config
 	// KV parameterizes the serving program (key range, value work,
 	// batch buffer capacity — raised to Batch automatically).

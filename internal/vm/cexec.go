@@ -48,9 +48,9 @@ func (m *Machine) loopC1(c *core) {
 		pc := cf.start[fr.block] + int32(fr.instr)
 		ci := &cf.code[pc]
 		if ci.fused > 1 {
-			if ci.fkind == fusePairCheck && len(m.faults) == 0 &&
-				m.tracer == nil && m.breakpoints == nil {
-				m.execPairCheck(c, fr, cf, pc)
+			if (ci.fkind == fusePairCheck || ci.fkind == fuseTriadVote) &&
+				len(m.faults) == 0 && m.tracer == nil && m.breakpoints == nil {
+				m.execFusedCheck(c, fr, cf, pc)
 			} else {
 				m.execFusedRun(c, fr, cf, pc)
 			}
@@ -306,6 +306,9 @@ func (m *Machine) exec1C(c *core, fr *frame, ci *cinstr) {
 			if ci.shadow {
 				m.stats.ShadowRegWrites++
 			}
+			if ci.shadow2 {
+				m.stats.Shadow2RegWrites++
+			}
 			fr.regs[ci.res] = res
 			fr.ready[ci.res] = ready
 		} else {
@@ -322,6 +325,7 @@ type phiUpd struct {
 	in         *ir.Instr
 	res        int32
 	shadow     bool
+	shadow2    bool
 	val, ready uint64
 }
 
@@ -355,7 +359,7 @@ func (m *Machine) execPhiGroupC(c *core, fr *frame, g *cphiGroup) {
 		}
 		v, r := fr.cval(mv.src)
 		ready := c.sched.Issue(latPhi, r)
-		ups = append(ups, phiUpd{in: mv.in, res: mv.res, shadow: mv.shadow, val: v, ready: ready})
+		ups = append(ups, phiUpd{in: mv.in, res: mv.res, shadow: mv.shadow, shadow2: mv.shadow2, val: v, ready: ready})
 	}
 	m.phiScratch = ups[:0]
 	if pp.bad != nil {
@@ -374,6 +378,9 @@ func (m *Machine) execPhiGroupC(c *core, fr *frame, g *cphiGroup) {
 			m.stats.RegWrites++
 			if u.shadow {
 				m.stats.ShadowRegWrites++
+			}
+			if u.shadow2 {
+				m.stats.Shadow2RegWrites++
 			}
 			fr.regs[u.res] = u.val
 			fr.ready[u.res] = u.ready
@@ -557,6 +564,9 @@ func (m *Machine) execFusedRun(c *core, fr *frame, cf *cfunc, pc int32) {
 					if ci.shadow {
 						m.stats.ShadowRegWrites++
 					}
+					if ci.shadow2 {
+						m.stats.Shadow2RegWrites++
+					}
 					fr.regs[ci.res] = res
 					fr.ready[ci.res] = ready
 				} else {
@@ -586,9 +596,10 @@ func (m *Machine) execFusedRun(c *core, fr *frame, cf *cfunc, pc int32) {
 	}
 }
 
-// execFusedIntrinsic handles the two fusable tx helpers inside a run.
-// It reports false when the run must stop (detection outside a
-// transaction). The caller performs the trailing HTM tick.
+// execFusedIntrinsic handles the fusable intrinsics (tx.counter_inc,
+// tx.check, tmr.vote) inside a run. It reports false when the run must
+// stop (detection outside a transaction, or an uncorrectable vote).
+// The caller performs the trailing HTM tick.
 func (m *Machine) execFusedIntrinsic(c *core, fr *frame, ci *cinstr) bool {
 	if intrID(ci.t0) == intrTxCounterInc {
 		v0, r := fr.cval(ci.args[0])
@@ -597,7 +608,6 @@ func (m *Machine) execFusedIntrinsic(c *core, fr *frame, ci *cinstr) bool {
 		fr.instr++
 		return true
 	}
-	// tx.check
 	var buf [8]uint64
 	vals := buf[:0]
 	var opsReady uint64
@@ -609,6 +619,14 @@ func (m *Machine) execFusedIntrinsic(c *core, fr *frame, ci *cinstr) bool {
 		}
 	}
 	c.sched.Issue(ci.lat, opsReady)
+	if intrID(ci.t0) == intrTmrVote {
+		if !m.tmrVote(c, fr, ci.in, vals) {
+			return false
+		}
+		fr.instr++
+		return true
+	}
+	// tx.check
 	mismatch := false
 	for i := 0; i+1 < len(vals); i += 2 {
 		if vals[i] != vals[i+1] {
@@ -635,14 +653,17 @@ func (m *Machine) execFusedIntrinsic(c *core, fr *frame, ci *cinstr) bool {
 	return true
 }
 
-// execPairCheck is the specialized handler for the canonical ILR
-// superinstruction (master op + shadow op + tx.check of their
-// results). It is dispatched only when no fault plans, tracer, or
-// breakpoints are installed, so commits take the branch-free fast
-// path; constituent accounting (DynInstrs, profiler, register-write
-// populations, HTM ticks, budget) is identical to unfused execution.
-func (m *Machine) execPairCheck(c *core, fr *frame, cf *cfunc, pc int32) {
-	run := cf.code[pc : pc+3 : pc+3]
+// execFusedCheck is the specialized handler for the canonical
+// hardening superinstructions: the ILR pair-check (master op + shadow
+// op + tx.check of their results) and the TMR triad-vote (master op +
+// both shadow twins + tmr.vote of their results). It is dispatched
+// only when no fault plans, tracer, or breakpoints are installed, so
+// commits take the branch-free fast path; constituent accounting
+// (DynInstrs, profiler, register-write populations, HTM ticks,
+// budget) is identical to unfused execution.
+func (m *Machine) execFusedCheck(c *core, fr *frame, cf *cfunc, pc int32) {
+	n := int32(cf.code[pc].fused)
+	run := cf.code[pc : pc+n : pc+n]
 	for k := range run {
 		ci := &run[k]
 		m.stats.DynInstrs++
@@ -660,6 +681,9 @@ func (m *Machine) execPairCheck(c *core, fr *frame, cf *cfunc, pc int32) {
 			if ci.shadow {
 				m.stats.ShadowRegWrites++
 			}
+			if ci.shadow2 {
+				m.stats.Shadow2RegWrites++
+			}
 			fr.regs[ci.res] = res
 			fr.ready[ci.res] = ready
 			fr.instr++
@@ -672,7 +696,7 @@ func (m *Machine) execPairCheck(c *core, fr *frame, cf *cfunc, pc int32) {
 				return
 			}
 		}
-		if k < 2 && m.stats.DynInstrs > m.Cfg.MaxDynInstrs {
+		if int32(k) < n-1 && m.stats.DynInstrs > m.Cfg.MaxDynInstrs {
 			m.status = StatusHung
 			return
 		}

@@ -52,6 +52,7 @@ const (
 	intrTxCondSplit
 	intrTxCounterInc
 	intrTxCheck
+	intrTmrVote
 	intrILRFail
 	intrHaftCrash
 	intrLockAcquire
@@ -74,6 +75,7 @@ var intrinsicNames = [numIntrinsics]string{
 	intrTxCondSplit:      "tx.cond_split",
 	intrTxCounterInc:     "tx.counter_inc",
 	intrTxCheck:          "tx.check",
+	intrTmrVote:          "tmr.vote",
 	intrILRFail:          "ilr.fail",
 	intrHaftCrash:        "haft.crash",
 	intrLockAcquire:      "lock.acquire",
@@ -154,6 +156,11 @@ const (
 	// fusePairCheck: the hot ILR triad master-op + shadow-op +
 	// tx.check(master, shadow), with a specialized commit path.
 	fusePairCheck
+	// fuseTriadVote: the hot TMR quad master-op + shadow-op +
+	// shadow2-op + tmr.vote(m, s1, s2), sharing the specialized
+	// fused-check path (the vote falls out to the slow voter only on
+	// an actual divergence).
+	fuseTriadVote
 )
 
 // cinstr is one flattened instruction. It carries everything the
@@ -173,20 +180,22 @@ type cinstr struct {
 	// t0/t1 are op-specific: Br taken/not-taken block indices; Jmp
 	// target block; Call function index or intrinsic id (t1 == 1
 	// marks an intrinsic); CallInd unused.
-	t0, t1 int32
-	op     ir.Op
-	fkind  fuseKind
-	shadow bool
-	pred   ir.Pred
-	rmw    ir.RMWKind
+	t0, t1  int32
+	op      ir.Op
+	fkind   fuseKind
+	shadow  bool
+	shadow2 bool
+	pred    ir.Pred
+	rmw     ir.RMWKind
 }
 
 // cphiMove is one phi's pre-resolved move for a specific predecessor.
 type cphiMove struct {
-	src    carg
-	in     *ir.Instr
-	res    int32
-	shadow bool
+	src     carg
+	in      *ir.Instr
+	res     int32
+	shadow  bool
+	shadow2 bool
 }
 
 // cphiPred batches the moves a whole phi run performs when entered
@@ -232,6 +241,7 @@ type ProgramStats struct {
 	FusedRuns   int `json:"fused_runs"`
 	FusedInstrs int `json:"fused_instrs"`
 	PairChecks  int `json:"pair_checks"`
+	TriadVotes  int `json:"triad_votes"`
 }
 
 // Stats reports the static shape of the compiled program.
@@ -248,6 +258,9 @@ func (p *Program) Stats() ProgramStats {
 				st.FusedInstrs += int(ci.fused)
 				if ci.fkind == fusePairCheck {
 					st.PairChecks++
+				}
+				if ci.fkind == fuseTriadVote {
+					st.TriadVotes++
 				}
 			}
 		}
@@ -292,16 +305,17 @@ func compileFunc(mod *ir.Module, fn *ir.Func) *cfunc {
 		for ii := range b.Instrs {
 			in := &b.Instrs[ii]
 			ci := cinstr{
-				op:     in.Op,
-				in:     in,
-				res:    int32(in.Res),
-				pred:   in.Pred,
-				rmw:    in.RMW,
-				off:    in.Off,
-				shadow: in.HasFlag(ir.FlagShadow),
-				lat:    cpu.Latency(in.Op),
-				t0:     -1,
-				t1:     -1,
+				op:      in.Op,
+				in:      in,
+				res:     int32(in.Res),
+				pred:    in.Pred,
+				rmw:     in.RMW,
+				off:     in.Off,
+				shadow:  in.HasFlag(ir.FlagShadow),
+				shadow2: in.HasFlag(ir.FlagShadow2),
+				lat:     cpu.Latency(in.Op),
+				t0:      -1,
+				t1:      -1,
 			}
 			base := len(pool)
 			for _, a := range in.Args {
@@ -380,10 +394,11 @@ func compilePhiGroup(b *ir.Block, s int) *cphiGroup {
 				break
 			}
 			cp.moves = append(cp.moves, cphiMove{
-				src:    lowerArg(in.Args[ki]),
-				in:     in,
-				res:    int32(in.Res),
-				shadow: in.HasFlag(ir.FlagShadow),
+				src:     lowerArg(in.Args[ki]),
+				in:      in,
+				res:     int32(in.Res),
+				shadow:  in.HasFlag(ir.FlagShadow),
+				shadow2: in.HasFlag(ir.FlagShadow2),
 			})
 		}
 		g.preds = append(g.preds, cp)

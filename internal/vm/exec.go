@@ -438,8 +438,12 @@ func (m *Machine) pushFrame(c *core, callee *ir.Func, in *ir.Instr) {
 func (m *Machine) commitReg(c *core, fr *frame, in *ir.Instr, res, ready uint64) {
 	m.stats.RegWrites++
 	isShadow := in.HasFlag(ir.FlagShadow)
+	isShadow2 := in.HasFlag(ir.FlagShadow2)
 	if isShadow {
 		m.stats.ShadowRegWrites++
+	}
+	if isShadow2 {
+		m.stats.Shadow2RegWrites++
 	}
 	skipped := false
 	var flip uint64
@@ -454,10 +458,15 @@ func (m *Machine) commitReg(c *core, fr *frame, in *ir.Instr, res, ready uint64)
 			case FlowAny:
 				idx = m.stats.RegWrites - 1
 			case FlowShadow:
-				if !isShadow {
+				if !isShadow || isShadow2 {
 					continue
 				}
-				idx = m.stats.ShadowRegWrites - 1
+				idx = m.stats.ShadowRegWrites - m.stats.Shadow2RegWrites - 1
+			case FlowShadow2:
+				if !isShadow2 {
+					continue
+				}
+				idx = m.stats.Shadow2RegWrites - 1
 			case FlowMaster:
 				if isShadow {
 					continue

@@ -60,7 +60,7 @@ func fusable(ci *cinstr) bool {
 	}
 	if ci.op == ir.OpCall && ci.t1 == 1 {
 		id := intrID(ci.t0)
-		return id == intrTxCheck || id == intrTxCounterInc
+		return id == intrTxCheck || id == intrTxCounterInc || id == intrTmrVote
 	}
 	return false
 }
@@ -91,6 +91,9 @@ func fuseFunc(cf *cfunc) {
 			if n == 3 && isPairCheck(cf.code[i:j]) {
 				head.fkind = fusePairCheck
 			}
+			if n == 4 && isTriadVote(cf.code[i:j]) {
+				head.fkind = fuseTriadVote
+			}
 		}
 		i = j
 	}
@@ -111,4 +114,24 @@ func isPairCheck(run []cinstr) bool {
 		return false
 	}
 	return i2.args[0].r == i0.res && i2.args[1].r == i1.res
+}
+
+// isTriadVote recognizes the canonical TMR superinstruction: a master
+// op, its two shadow twins, and the tmr.vote over exactly their three
+// results.
+func isTriadVote(run []cinstr) bool {
+	i0, i1, i2, i3 := &run[0], &run[1], &run[2], &run[3]
+	if !pairable(i0) || !pairable(i1) || !pairable(i2) {
+		return false
+	}
+	if i0.shadow || !i1.shadow || i1.shadow2 || !i2.shadow2 {
+		return false
+	}
+	if i3.op != ir.OpCall || i3.t1 != 1 || intrID(i3.t0) != intrTmrVote {
+		return false
+	}
+	if len(i3.args) != 3 {
+		return false
+	}
+	return i3.args[0].r == i0.res && i3.args[1].r == i1.res && i3.args[2].r == i2.res
 }

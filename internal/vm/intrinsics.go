@@ -145,6 +145,18 @@ func (m *Machine) execIntrinsicID(c *core, fr *frame, in *ir.Instr, id intrID, v
 		advance()
 		return
 
+	case intrTmrVote:
+		// TMR majority vote (the Elzar scheme): each (master, s1, s2)
+		// replica triple is corrected in place to its 2-of-3 majority —
+		// no abort, no retry, no transaction needed. Only a three-way
+		// disagreement (outside the single-event-upset model) fails.
+		c.sched.Issue(lat, opsReady)
+		if !m.tmrVote(c, fr, in, vals) {
+			return
+		}
+		advance()
+		return
+
 	case intrILRFail:
 		// A failed ILR check: xabort inside a transaction, program
 		// termination outside (Figure 1c vs 1b).
@@ -282,6 +294,57 @@ func (m *Machine) execIntrinsicID(c *core, fr *frame, in *ir.Instr, id intrID, v
 		return
 	}
 	m.afterInstr(c)
+}
+
+// tmrVote applies 2-of-3 majority correction to each (master, s1, s2)
+// register triple of a tmr.vote call. A diverging replica is corrected
+// by writing the majority value back into all three registers — via
+// setReg, not commitReg, so corrections never perturb the
+// fault-injection populations or the register-write trace — and the
+// corrected-fault counter is bumped. Reports false when a triple had
+// three distinct values: the majority is undefined, which is outside
+// the single-fault model, and the run stops with StatusILRDetected.
+// Both engines and the fused triad-vote superinstruction land here on
+// divergence.
+func (m *Machine) tmrVote(c *core, fr *frame, in *ir.Instr, vals []uint64) bool {
+	now := c.sched.Now()
+	for i := 0; i+2 < len(vals); i += 3 {
+		a, b, d := vals[i], vals[i+1], vals[i+2]
+		if a == b && b == d {
+			continue
+		}
+		var maj, outlier uint64
+		switch {
+		case a == b:
+			maj, outlier = a, d
+		case a == d:
+			maj, outlier = a, b
+		case b == d:
+			maj, outlier = b, a
+		default:
+			if m.obsRing != nil {
+				m.obsRing.Emit(obs.Event{
+					Kind: obs.KindDetect, Actor: m.obsBase + int32(c.id), Time: now,
+					A: a, B: b,
+					Label: fr.fn.Name + "/" + fr.fn.Blocks[fr.block].Name,
+				})
+			}
+			m.status = StatusILRDetected
+			return false
+		}
+		fr.setReg(in.Args[i].Reg, maj, now)
+		fr.setReg(in.Args[i+1].Reg, maj, now)
+		fr.setReg(in.Args[i+2].Reg, maj, now)
+		m.stats.CorrectedFaults++
+		if m.obsRing != nil {
+			m.obsRing.Emit(obs.Event{
+				Kind: obs.KindVoteCorrect, Actor: m.obsBase + int32(c.id), Time: now,
+				A: maj, B: outlier,
+				Label: fr.fn.Name + "/" + fr.fn.Blocks[fr.block].Name,
+			})
+		}
+	}
+	return true
 }
 
 // commitTx attempts to commit the active transaction. On failure the

@@ -157,8 +157,11 @@ const (
 	FlowAny FaultFlow = iota
 	// FlowMaster counts only original (non-shadow) instructions.
 	FlowMaster
-	// FlowShadow counts only ILR-inserted shadow instructions.
+	// FlowShadow counts only ILR-inserted shadow instructions (the
+	// first shadow flow under TMR).
 	FlowShadow
+	// FlowShadow2 counts only the second shadow flow of the TMR pass.
+	FlowShadow2
 )
 
 // String returns the flow name.
@@ -168,6 +171,8 @@ func (f FaultFlow) String() string {
 		return "master"
 	case FlowShadow:
 		return "shadow"
+	case FlowShadow2:
+		return "shadow2"
 	}
 	return "any"
 }
@@ -203,10 +208,17 @@ type RunStats struct {
 	// RegWrites counts instructions that wrote a register (the fault
 	// injection population of the register and skip models).
 	RegWrites uint64
-	// ShadowRegWrites counts register writes by ILR shadow
-	// instructions; RegWrites-ShadowRegWrites is the master-flow
-	// population.
+	// ShadowRegWrites counts register writes by shadow-flow
+	// instructions (both TMR shadow flows included);
+	// RegWrites-ShadowRegWrites is the master-flow population.
 	ShadowRegWrites uint64
+	// Shadow2RegWrites counts register writes by the second TMR shadow
+	// flow; ShadowRegWrites-Shadow2RegWrites is the first-shadow
+	// population. Zero outside TMR mode.
+	Shadow2RegWrites uint64
+	// CorrectedFaults counts replica divergences corrected in place by
+	// TMR majority votes (the correction events of the Elzar scheme).
+	CorrectedFaults uint64
 	// MemAccesses counts dynamic memory accesses (loads and stores,
 	// atomics included; an ARMW counts its read and its write) — the
 	// population of the memory and address fault models.
