@@ -88,8 +88,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Reject flow restrictions that cannot select any instruction under
+	// one of the selected modes (e.g. the shadow flow of a native build,
+	// or the second TMR shadow under ILR): the register-indexed models
+	// would otherwise run against an empty injection population and the
+	// campaign would fail (or, worse, report a vacuous zero-SDC result
+	// from zero strata). The shared table's error lists the flows that
+	// ARE valid for the mode.
 	for _, ms := range strings.Split(*mode, ",") {
-		if err := validateFlow(ms, flowVal); err != nil {
+		if err := haft.ValidateFaultFlowForMode(ms, flowVal); err != nil {
 			fatal(err)
 		}
 	}
@@ -233,30 +240,6 @@ func hardened(name, mode string, scale int) (*haft.Program, error) {
 		return nil, fmt.Errorf("unknown mode %q", mode)
 	}
 	return haft.Harden(prog, cfg)
-}
-
-// validateFlow rejects flow restrictions that cannot select any
-// instruction under the given hardening mode — e.g. the shadow flow of
-// a native build, or the second TMR shadow under ILR. Without this
-// check the register-indexed models would run against an empty
-// injection population and the campaign would fail (or, worse, report
-// a vacuous zero-SDC result from zero strata).
-func validateFlow(mode string, flow haft.FaultFlow) error {
-	switch flow {
-	case haft.FaultFlowAny, haft.FaultFlowMaster:
-		return nil
-	case haft.FaultFlowShadow:
-		if mode == "native" || mode == "tx" {
-			return fmt.Errorf("flow \"shadow\" does not exist under mode %q: only ilr, haft and tmr build a shadow data flow", mode)
-		}
-		return nil
-	case haft.FaultFlowShadow2:
-		if mode != "tmr" {
-			return fmt.Errorf("flow \"shadow2\" does not exist under mode %q: only tmr builds a second shadow data flow", mode)
-		}
-		return nil
-	}
-	return fmt.Errorf("unknown fault flow %v", flow)
 }
 
 func parseModels(s string) ([]haft.FaultModel, error) {

@@ -153,6 +153,13 @@ var experimentRunners = map[string]func(exp.Options) (string, error){
 		}
 		return t, nil
 	},
+	"scenarios": func(o exp.Options) (string, error) {
+		_, t, err := exp.Scenarios(o)
+		if err != nil {
+			return "", err
+		}
+		return t.String(), nil
+	},
 }
 
 // experimentData maps experiment ids to runners with a structured,
@@ -207,6 +214,13 @@ var experimentData = map[string]func(exp.Options) (any, string, error){
 			return nil, "", err
 		}
 		return res, t, nil
+	},
+	"scenarios": func(o exp.Options) (any, string, error) {
+		bundle, t, err := exp.Scenarios(o)
+		if err != nil {
+			return nil, "", err
+		}
+		return bundle, t.String(), nil
 	},
 }
 

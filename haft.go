@@ -359,6 +359,21 @@ const (
 // "shadow2").
 func ParseFaultFlow(s string) (FaultFlow, error) { return fault.ParseFlow(s) }
 
+// FaultFlowName returns the canonical name of a flow.
+func FaultFlowName(f FaultFlow) string { return fault.FlowName(f) }
+
+// FaultFlowsForMode returns the fault flows that exist under the named
+// hardening mode (native, ilr, tx, haft, tmr): shadow needs a mode
+// that builds a shadow data flow, shadow2 needs TMR's second replica.
+func FaultFlowsForMode(mode string) ([]FaultFlow, error) { return fault.FlowsForMode(mode) }
+
+// ValidateFaultFlowForMode rejects flow restrictions that cannot
+// select any instruction under the given hardening mode; the error
+// lists the flows that are valid for the mode.
+func ValidateFaultFlowForMode(mode string, f FaultFlow) error {
+	return fault.ValidateFlowForMode(mode, f)
+}
+
 // FaultCampaignConfig parameterizes a multi-model campaign: the model
 // mix, the injection budget, stratified-sampling segments, the target
 // margin of error and confidence level for early stopping, worker

@@ -60,12 +60,11 @@ func ChaosBench(o Options) (serve.Snapshot, error) {
 	cfg.Seed = o.Seed
 	cfg.SEURate = 0.005
 	cfg.MaxRetries = 8
-	cfg.Chaos = serve.ChaosConfig{
-		KillRate:  0.02,
-		HangRate:  0.02,
-		StormRate: 0.05,
-		StormSize: 4,
+	chaos, err := serve.ChaosProfile("heavy")
+	if err != nil {
+		return serve.Snapshot{}, err
 	}
+	cfg.Chaos = chaos
 	cfg.Deadline = 5 * time.Second
 	srv, err := serve.NewServer(cfg)
 	if err != nil {

@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/report"
+	"repro/internal/scenario"
+)
+
+// Scenarios runs the declared scenario matrix's smoke subset (the
+// fixed-seed, deterministic, golden-pinned selection CI shards) and
+// returns the results bundle plus a rendered per-scenario table. The
+// full matrix is the haftscenario command's job; the experiment entry
+// exists so `haftbench -run scenarios -json` emits the bundle as a
+// BENCH artifact like every other experiment.
+func Scenarios(o Options) (*scenario.Bundle, *report.Table, error) {
+	cfg := scenario.Config{
+		Filter: scenario.Filter{Attrs: []string{"smoke"}},
+		Seed:   o.Seed,
+	}
+	// The scenario declarations own the per-run budget; only an
+	// explicit non-default override reaches the runner.
+	if o.Injections > 0 && o.Injections != DefaultOptions().Injections {
+		cfg.Injections = o.Injections
+	}
+	bundle, err := scenario.DefaultRegistry().Run(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	t := &report.Table{
+		Title:  fmt.Sprintf("scenario smoke matrix (seed %d)", o.Seed),
+		Header: []string{"scenario", "runs", "pass", "fail", "flaky", "skip", "timeout", "sdc", "corrected"},
+	}
+	type agg struct {
+		runs, sdc, corrected int
+		byOutcome            map[scenario.Outcome]int
+	}
+	per := map[string]*agg{}
+	var names []string
+	for _, rec := range bundle.Records {
+		a := per[rec.Scenario]
+		if a == nil {
+			a = &agg{byOutcome: map[scenario.Outcome]int{}}
+			per[rec.Scenario] = a
+			names = append(names, rec.Scenario)
+		}
+		a.runs++
+		a.byOutcome[rec.Outcome]++
+		a.sdc += rec.SDCRuns
+		a.corrected += rec.CorrectedRuns
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		a := per[n]
+		t.AddF(0, n, a.runs,
+			a.byOutcome[scenario.OutcomePass], a.byOutcome[scenario.OutcomeFail],
+			a.byOutcome[scenario.OutcomeFlaky], a.byOutcome[scenario.OutcomeSkip],
+			a.byOutcome[scenario.OutcomeTimeout], a.sdc, a.corrected)
+	}
+	if len(bundle.Summary.Failed) > 0 {
+		return bundle, t, fmt.Errorf("exp: scenario runs failed: %s",
+			strings.Join(bundle.Summary.Failed, ", "))
+	}
+	return bundle, t, nil
+}

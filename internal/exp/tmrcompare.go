@@ -62,19 +62,6 @@ type TMRCompareResult struct {
 	TMRSDCRunsCorrectable int    `json:"tmr_sdc_runs_correctable"`
 }
 
-// correctableModels are the fault models whose single-fault upsets TMR
-// corrects (or crashes on) by construction: a flipped replica register,
-// a skipped replica instruction, a mis-taken branch, or a corrupted
-// address register never reaches the output. Memory-word flips and
-// double upsets are excluded: once data lives in its single memory
-// copy, voting cannot restore it.
-var correctableModels = map[fault.Model]bool{
-	fault.ModelRegister: true,
-	fault.ModelBranch:   true,
-	fault.ModelAddress:  true,
-	fault.ModelSkip:     true,
-}
-
 // TMRCompare runs the ilr+tx (HAFT) vs TMR comparison: the normalized
 // overhead ladder at o.PerfThreads, then the full six-model
 // fault-injection campaign against both hardened builds of each
@@ -166,7 +153,7 @@ func TMRCompare(o Options) (*TMRCompareResult, string, error) {
 					res.TMRCorrectedRuns += row.CorrectedRuns
 					res.TMRCorrectedFaults += row.CorrectedFaults
 					res.TMRSDCRuns += row.SDCRuns
-					if correctableModels[mr.Model] {
+					if mr.Model.TMRCorrectable() {
 						res.TMRSDCRunsCorrectable += row.SDCRuns
 					}
 				}

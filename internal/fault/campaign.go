@@ -344,6 +344,7 @@ type CampaignResult struct {
 	RefMemAccesses  uint64 `json:"ref_mem_accesses"`
 	RefCondBranches uint64 `json:"ref_cond_branches"`
 	RefCycles       uint64 `json:"ref_cycles"`
+	RefDynInstrs    uint64 `json:"ref_dyn_instrs"`
 }
 
 // Total returns the number of executed runs across all models.
@@ -556,6 +557,7 @@ func RunCampaign(t *Target, cfg CampaignConfig) (*CampaignResult, error) {
 			RefMemAccesses:  refStats.MemAccesses,
 			RefCondBranches: refStats.CondBranches,
 			RefCycles:       refStats.Cycles,
+			RefDynInstrs:    refStats.DynInstrs,
 		}
 		for _, m := range cfg.Models {
 			res.PerModel = append(res.PerModel, &ModelResult{

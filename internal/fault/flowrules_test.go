@@ -1,0 +1,90 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vm"
+)
+
+func TestFlowsForMode(t *testing.T) {
+	cases := []struct {
+		mode string
+		want []vm.FaultFlow
+	}{
+		{"native", []vm.FaultFlow{vm.FlowAny, vm.FlowMaster}},
+		{"tx", []vm.FaultFlow{vm.FlowAny, vm.FlowMaster}},
+		{"ilr", []vm.FaultFlow{vm.FlowAny, vm.FlowMaster, vm.FlowShadow}},
+		{"haft", []vm.FaultFlow{vm.FlowAny, vm.FlowMaster, vm.FlowShadow}},
+		{"tmr", []vm.FaultFlow{vm.FlowAny, vm.FlowMaster, vm.FlowShadow, vm.FlowShadow2}},
+	}
+	for _, c := range cases {
+		got, err := FlowsForMode(c.mode)
+		if err != nil {
+			t.Fatalf("FlowsForMode(%q): %v", c.mode, err)
+		}
+		if len(got) != len(c.want) {
+			t.Fatalf("FlowsForMode(%q) = %v, want %v", c.mode, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("FlowsForMode(%q)[%d] = %v, want %v", c.mode, i, got[i], c.want[i])
+			}
+		}
+	}
+	if _, err := FlowsForMode("quantum"); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestValidateFlowForModeListsValidFlows(t *testing.T) {
+	// The rejection error must name every flow that IS valid for the
+	// mode, so the user can correct the flag without reading the docs.
+	err := ValidateFlowForMode("haft", vm.FlowShadow2)
+	if err == nil {
+		t.Fatal("shadow2 accepted under haft")
+	}
+	for _, want := range []string{"any", "master", "shadow"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not list valid flow %q", err, want)
+		}
+	}
+	if err := ValidateFlowForMode("native", vm.FlowShadow); err == nil {
+		t.Fatal("shadow accepted under native")
+	}
+	for _, mode := range []string{"native", "ilr", "tx", "haft", "tmr"} {
+		if err := ValidateFlowForMode(mode, vm.FlowAny); err != nil {
+			t.Errorf("any rejected under %s: %v", mode, err)
+		}
+		if err := ValidateFlowForMode(mode, vm.FlowMaster); err != nil {
+			t.Errorf("master rejected under %s: %v", mode, err)
+		}
+	}
+	if err := ValidateFlowForMode("tmr", vm.FlowShadow2); err != nil {
+		t.Errorf("shadow2 rejected under tmr: %v", err)
+	}
+}
+
+func TestTMRCorrectable(t *testing.T) {
+	want := map[Model]bool{
+		ModelRegister: true, ModelBranch: true, ModelAddress: true, ModelSkip: true,
+		ModelMemory: false, ModelDouble: false,
+	}
+	for m, w := range want {
+		if got := m.TMRCorrectable(); got != w {
+			t.Errorf("%s.TMRCorrectable() = %v, want %v", m, got, w)
+		}
+	}
+}
+
+func TestFlowNameRoundTrip(t *testing.T) {
+	for _, f := range AllFlows() {
+		back, err := ParseFlow(FlowName(f))
+		if err != nil {
+			t.Fatalf("ParseFlow(FlowName(%v)): %v", f, err)
+		}
+		if back != f {
+			t.Fatalf("flow %v round-trips to %v", f, back)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+// The results bundle: one machine-readable document per matrix run,
+// in the mold of the BENCH_*.json artifacts — plus a deterministic
+// summarizer and the golden-diff mode CI gates on.
+//
+// Determinism contract: a record of a deterministic scenario is a pure
+// function of the run seed, so two bundles produced from the same
+// registry, seed and filter are byte-identical under EncodeCanonical
+// (which zeroes wall-clock durations) — regardless of sharding, worker
+// count, interruption/resume, or the machine they ran on. That is what
+// makes the golden file a meaningful CI gate and shard-merge a pure
+// set union.
+
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Outcome classifies one matrix run, tast-style.
+type Outcome string
+
+// Run outcomes.
+const (
+	// OutcomePass: the run completed and every gate held.
+	OutcomePass Outcome = "pass"
+	// OutcomeFail: every attempt failed the same way (deterministic
+	// failure; retries never turn it into a pass).
+	OutcomeFail Outcome = "fail"
+	// OutcomeFlaky: a failed attempt was followed by a passing retry.
+	OutcomeFlaky Outcome = "flaky"
+	// OutcomeSkip: the run's axis combination is statically valid but
+	// empty at runtime (e.g. an empty injection population).
+	OutcomeSkip Outcome = "skip"
+	// OutcomeTimeout: the run exceeded its scenario's deadline.
+	OutcomeTimeout Outcome = "timeout"
+)
+
+// Record is the structured result of one matrix run.
+type Record struct {
+	// Key is the run's stable identity ("scenario:axes").
+	Key      string `json:"key"`
+	Scenario string `json:"scenario"`
+	Axes     Axes   `json:"axes"`
+	// Seed is the run's private seed (reproduce with `haftscenario run
+	// -name <scenario> -axis ...` at the same harness seed).
+	Seed    uint64  `json:"seed"`
+	Outcome Outcome `json:"outcome"`
+	// Attempts counts executions including retries.
+	Attempts int `json:"attempts"`
+	// Deterministic marks records the golden diff compares field by
+	// field; nondeterministic records are compared by outcome only.
+	Deterministic bool `json:"deterministic"`
+	// Runs is the number of campaign injections (KindFI) or serving
+	// requests (KindServe) the run executed.
+	Runs int `json:"runs,omitempty"`
+	// Counts is the outcome histogram of a campaign (Table 1 outcome
+	// name → runs) or the serving counters of a chaos run.
+	Counts map[string]int `json:"counts,omitempty"`
+	// SDCRuns / CorrectedRuns / CorrectedFaults summarize the fault
+	// tolerance activity of the run.
+	SDCRuns         int    `json:"sdc_runs"`
+	CorrectedRuns   int    `json:"corrected_runs"`
+	CorrectedFaults uint64 `json:"corrected_faults"`
+	// Instrs / Cycles are the (reference) run's RunStats.
+	Instrs uint64 `json:"instrs,omitempty"`
+	Cycles uint64 `json:"cycles,omitempty"`
+	// DurationMS is wall-clock time across all attempts (zeroed by
+	// EncodeCanonical; never golden-diffed).
+	DurationMS float64 `json:"duration_ms"`
+	// Err is the failure (or skip) reason, if any.
+	Err string `json:"err,omitempty"`
+}
+
+// Summary is the deterministic aggregate of a bundle, recomputed from
+// the records on every encode (so merged bundles summarize
+// identically to uninterrupted ones).
+type Summary struct {
+	Runs            int            `json:"runs"`
+	ByOutcome       map[string]int `json:"by_outcome"`
+	SDCRuns         int            `json:"sdc_runs"`
+	CorrectedRuns   int            `json:"corrected_runs"`
+	CorrectedFaults uint64         `json:"corrected_faults"`
+	// Flaky lists the keys of flaky runs (the tast-style flake report).
+	Flaky []string `json:"flaky,omitempty"`
+	// Failed lists the keys of failed and timed-out runs.
+	Failed []string `json:"failed,omitempty"`
+}
+
+// Bundle is the machine-readable result of one matrix invocation (or
+// a merge of its shards): records sorted by key plus the summary.
+type Bundle struct {
+	Version int      `json:"version"`
+	Seed    int64    `json:"seed"`
+	Filter  string   `json:"filter"`
+	Records []Record `json:"records"`
+	Summary Summary  `json:"summary"`
+}
+
+// bundleVersion is bumped on any incompatible format change.
+const bundleVersion = 1
+
+// NewBundle builds a bundle from records: sorts by key and computes
+// the summary.
+func NewBundle(seed int64, filter string, records []Record) *Bundle {
+	recs := append([]Record(nil), records...)
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Key < recs[j].Key })
+	return &Bundle{
+		Version: bundleVersion,
+		Seed:    seed,
+		Filter:  filter,
+		Records: recs,
+		Summary: summarize(recs),
+	}
+}
+
+func summarize(recs []Record) Summary {
+	s := Summary{ByOutcome: map[string]int{}}
+	for _, r := range recs {
+		s.Runs++
+		s.ByOutcome[string(r.Outcome)]++
+		s.SDCRuns += r.SDCRuns
+		s.CorrectedRuns += r.CorrectedRuns
+		s.CorrectedFaults += r.CorrectedFaults
+		switch r.Outcome {
+		case OutcomeFlaky:
+			s.Flaky = append(s.Flaky, r.Key)
+		case OutcomeFail, OutcomeTimeout:
+			s.Failed = append(s.Failed, r.Key)
+		}
+	}
+	return s
+}
+
+// Encode serializes the bundle (indented JSON), durations included.
+func (b *Bundle) Encode() ([]byte, error) {
+	b.Summary = summarize(b.Records)
+	out, err := json.MarshalIndent(b, "", " ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// EncodeCanonical serializes the bundle with every wall-clock duration
+// zeroed: the byte-identity form (shard merges, resume tests, golden
+// files).
+func (b *Bundle) EncodeCanonical() ([]byte, error) {
+	c := *b
+	c.Records = append([]Record(nil), b.Records...)
+	for i := range c.Records {
+		c.Records[i].DurationMS = 0
+	}
+	return c.Encode()
+}
+
+// DecodeBundle parses a bundle produced by Encode/EncodeCanonical.
+func DecodeBundle(data []byte) (*Bundle, error) {
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("scenario: bad results bundle: %w", err)
+	}
+	if b.Version != bundleVersion {
+		return nil, fmt.Errorf("scenario: results bundle version %d, want %d", b.Version, bundleVersion)
+	}
+	return &b, nil
+}
+
+// Merge unions shard bundles into one: seeds and filters must match,
+// keys must be disjoint. The result is byte-identical (canonically) to
+// an unsharded run of the same selection.
+func Merge(bundles ...*Bundle) (*Bundle, error) {
+	if len(bundles) == 0 {
+		return nil, fmt.Errorf("scenario: nothing to merge")
+	}
+	first := bundles[0]
+	seen := make(map[string]bool)
+	var recs []Record
+	for _, b := range bundles {
+		if b.Seed != first.Seed {
+			return nil, fmt.Errorf("scenario: merging bundles with different seeds (%d vs %d)", b.Seed, first.Seed)
+		}
+		if b.Filter != first.Filter {
+			return nil, fmt.Errorf("scenario: merging bundles with different filters (%q vs %q)", b.Filter, first.Filter)
+		}
+		for _, r := range b.Records {
+			if seen[r.Key] {
+				return nil, fmt.Errorf("scenario: duplicate run %s across shards", r.Key)
+			}
+			seen[r.Key] = true
+			recs = append(recs, r)
+		}
+	}
+	return NewBundle(first.Seed, first.Filter, recs), nil
+}
+
+// DiffEntry is one golden-vs-current divergence.
+type DiffEntry struct {
+	Key    string `json:"key"`
+	Field  string `json:"field"`
+	Golden string `json:"golden"`
+	Got    string `json:"got"`
+}
+
+// DiffReport is the result of comparing a bundle against a golden.
+type DiffReport struct {
+	// Regressions fail CI: runs missing from the current bundle,
+	// outcome changes, and (for deterministic runs) any change in the
+	// pinned result fields.
+	Regressions []DiffEntry `json:"regressions,omitempty"`
+	// Additions are runs present now but absent from the golden —
+	// informational (regenerate the golden to pin them).
+	Additions []string `json:"additions,omitempty"`
+}
+
+// Regression reports whether the diff must fail CI.
+func (d *DiffReport) Regression() bool { return len(d.Regressions) > 0 }
+
+// String renders the report for humans.
+func (d *DiffReport) String() string {
+	if !d.Regression() && len(d.Additions) == 0 {
+		return "scenario diff: bundles identical\n"
+	}
+	var sb strings.Builder
+	for _, e := range d.Regressions {
+		fmt.Fprintf(&sb, "REGRESSION %s: %s golden=%s got=%s\n", e.Key, e.Field, e.Golden, e.Got)
+	}
+	for _, k := range d.Additions {
+		fmt.Fprintf(&sb, "new run (not in golden, regenerate to pin): %s\n", k)
+	}
+	fmt.Fprintf(&sb, "scenario diff: %d regression(s), %d addition(s)\n",
+		len(d.Regressions), len(d.Additions))
+	return sb.String()
+}
+
+// Diff compares a current bundle against the golden: every golden run
+// must be present with the same outcome, and deterministic runs must
+// reproduce their pinned counts, fault-tolerance tallies and RunStats
+// exactly. Durations are never compared.
+func Diff(golden, got *Bundle) *DiffReport {
+	rep := &DiffReport{}
+	cur := make(map[string]Record, len(got.Records))
+	for _, r := range got.Records {
+		cur[r.Key] = r
+	}
+	for _, g := range golden.Records {
+		c, ok := cur[g.Key]
+		if !ok {
+			rep.Regressions = append(rep.Regressions, DiffEntry{
+				Key: g.Key, Field: "presence", Golden: string(g.Outcome), Got: "missing"})
+			continue
+		}
+		delete(cur, g.Key)
+		if c.Outcome != g.Outcome {
+			rep.Regressions = append(rep.Regressions, DiffEntry{
+				Key: g.Key, Field: "outcome", Golden: string(g.Outcome), Got: string(c.Outcome)})
+			continue
+		}
+		if !g.Deterministic || !c.Deterministic {
+			continue
+		}
+		cmp := func(field, want, have string) {
+			if want != have {
+				rep.Regressions = append(rep.Regressions, DiffEntry{
+					Key: g.Key, Field: field, Golden: want, Got: have})
+			}
+		}
+		cmp("seed", fmt.Sprint(g.Seed), fmt.Sprint(c.Seed))
+		cmp("runs", fmt.Sprint(g.Runs), fmt.Sprint(c.Runs))
+		cmp("sdc_runs", fmt.Sprint(g.SDCRuns), fmt.Sprint(c.SDCRuns))
+		cmp("corrected_runs", fmt.Sprint(g.CorrectedRuns), fmt.Sprint(c.CorrectedRuns))
+		cmp("corrected_faults", fmt.Sprint(g.CorrectedFaults), fmt.Sprint(c.CorrectedFaults))
+		cmp("instrs", fmt.Sprint(g.Instrs), fmt.Sprint(c.Instrs))
+		cmp("cycles", fmt.Sprint(g.Cycles), fmt.Sprint(c.Cycles))
+		cmp("counts", countsKey(g.Counts), countsKey(c.Counts))
+	}
+	for k := range cur {
+		rep.Additions = append(rep.Additions, k)
+	}
+	sort.Strings(rep.Additions)
+	return rep
+}
+
+// countsKey renders a counts map canonically for comparison.
+func countsKey(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s=%d ", k, m[k])
+	}
+	return strings.TrimSpace(sb.String())
+}

@@ -1,0 +1,142 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func rec(key string, outcome Outcome, det bool) Record {
+	return Record{
+		Key: key, Scenario: "t/s", Outcome: outcome, Attempts: 1,
+		Deterministic: det, Runs: 10, SDCRuns: 1, CorrectedRuns: 2,
+		Counts: map[string]int{"Masked": 9, "SDC": 1}, DurationMS: 12.5,
+	}
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	b := NewBundle(4, "attr=t", []Record{rec("b", OutcomePass, true), rec("a", OutcomeFail, true)})
+	if b.Records[0].Key != "a" {
+		t.Error("records not sorted by key")
+	}
+	data, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeBundle(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Seed != 4 || back.Filter != "attr=t" || len(back.Records) != 2 {
+		t.Errorf("round-trip lost fields: %+v", back)
+	}
+	if back.Summary.Runs != 2 || back.Summary.SDCRuns != 2 || len(back.Summary.Failed) != 1 {
+		t.Errorf("summary wrong after round-trip: %+v", back.Summary)
+	}
+	if _, err := DecodeBundle([]byte(`{"version": 99}`)); err == nil {
+		t.Error("wrong bundle version accepted")
+	}
+}
+
+func TestBundleCanonicalZeroesDurations(t *testing.T) {
+	a := NewBundle(1, "", []Record{rec("x", OutcomePass, true)})
+	b := NewBundle(1, "", []Record{rec("x", OutcomePass, true)})
+	b.Records[0].DurationMS = 99999
+	ca, err := a.EncodeCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.EncodeCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ca, cb) {
+		t.Error("canonical encoding depends on durations")
+	}
+	// EncodeCanonical must not mutate the receiver.
+	if b.Records[0].DurationMS != 99999 {
+		t.Error("EncodeCanonical mutated the bundle")
+	}
+}
+
+func TestMergeValidation(t *testing.T) {
+	a := NewBundle(1, "f", []Record{rec("a", OutcomePass, true)})
+	b := NewBundle(2, "f", []Record{rec("b", OutcomePass, true)})
+	if _, err := Merge(a, b); err == nil || !strings.Contains(err.Error(), "seed") {
+		t.Errorf("seed mismatch: got %v", err)
+	}
+	c := NewBundle(1, "g", []Record{rec("b", OutcomePass, true)})
+	if _, err := Merge(a, c); err == nil || !strings.Contains(err.Error(), "filter") {
+		t.Errorf("filter mismatch: got %v", err)
+	}
+	if _, err := Merge(); err == nil {
+		t.Error("empty merge succeeded")
+	}
+}
+
+func TestDiffSemantics(t *testing.T) {
+	golden := NewBundle(1, "", []Record{
+		rec("same", OutcomePass, true),
+		rec("missing", OutcomePass, true),
+		rec("flipped", OutcomePass, true),
+		rec("drifted", OutcomePass, true),
+		rec("nondet", OutcomePass, false),
+	})
+	drift := rec("drifted", OutcomePass, true)
+	drift.SDCRuns = 7
+	nondet := rec("nondet", OutcomePass, false)
+	nondet.Runs = 9999 // nondeterministic fields are not compared
+	cur := NewBundle(1, "", []Record{
+		rec("same", OutcomePass, true),
+		rec("flipped", OutcomeFail, true),
+		drift,
+		nondet,
+		rec("added", OutcomePass, true),
+	})
+	rep := Diff(golden, cur)
+	if !rep.Regression() {
+		t.Fatal("regressions not detected")
+	}
+	fields := map[string]string{}
+	for _, e := range rep.Regressions {
+		fields[e.Key] = e.Field
+	}
+	if fields["missing"] != "presence" {
+		t.Errorf("missing run: field %q, want presence", fields["missing"])
+	}
+	if fields["flipped"] != "outcome" {
+		t.Errorf("outcome change: field %q, want outcome", fields["flipped"])
+	}
+	if fields["drifted"] != "sdc_runs" {
+		t.Errorf("deterministic drift: field %q, want sdc_runs", fields["drifted"])
+	}
+	if _, bad := fields["same"]; bad {
+		t.Error("identical run reported as regression")
+	}
+	if _, bad := fields["nondet"]; bad {
+		t.Error("nondeterministic field drift reported as regression")
+	}
+	if len(rep.Additions) != 1 || rep.Additions[0] != "added" {
+		t.Errorf("additions %v, want [added]", rep.Additions)
+	}
+
+	// Durations never matter.
+	slow := NewBundle(1, "", []Record{rec("same", OutcomePass, true)})
+	slow.Records[0].DurationMS = 1e9
+	if rep := Diff(NewBundle(1, "", []Record{rec("same", OutcomePass, true)}), slow); rep.Regression() {
+		t.Error("duration drift reported as regression")
+	}
+}
+
+func TestDiffString(t *testing.T) {
+	golden := NewBundle(1, "", []Record{rec("a", OutcomePass, true)})
+	cur := NewBundle(1, "", []Record{rec("a", OutcomeFail, true)})
+	out := Diff(golden, cur).String()
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "a") {
+		t.Errorf("diff rendering %q lacks the regression", out)
+	}
+	same := Diff(golden, golden).String()
+	if !strings.Contains(same, "identical") {
+		t.Errorf("identical diff rendering %q", same)
+	}
+}

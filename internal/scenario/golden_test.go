@@ -1,0 +1,83 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenPath is the canonical bundle of the fixed-seed smoke subset —
+// the same selection CI shards and diffs (.github/workflows/ci.yml).
+const goldenPath = "testdata/golden_smoke.json"
+
+// goldenConfig is the exact invocation the golden pins: seed 1, the
+// smoke attribute, scenario-declared budgets. CI reproduces it as
+// `haftscenario run -attr smoke -seed 1 -canonical`.
+func goldenConfig() Config {
+	return Config{Filter: Filter{Attrs: []string{"smoke"}}, Seed: 1}
+}
+
+// TestGoldenSmoke executes the smoke subset and diffs it against the
+// checked-in golden bundle. Regenerate with
+//
+//	HAFT_UPDATE_GOLDEN=1 go test ./internal/scenario -run TestGoldenSmoke
+//
+// after an intentional change (new scenarios, changed hardening
+// passes, changed engines — anything that legitimately moves the
+// pinned outcome distributions).
+func TestGoldenSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke matrix is a multi-second run")
+	}
+	bundle, err := DefaultRegistry().Run(goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The smoke subset must stay within its timeout budget and free of
+	// harness-level failures before it is worth diffing.
+	for _, r := range bundle.Records {
+		if r.Outcome == OutcomeTimeout {
+			t.Errorf("smoke run %s exceeded its timeout budget", r.Key)
+		}
+		if !r.Deterministic {
+			t.Errorf("smoke run %s is nondeterministic; the golden gate needs pure-seed runs", r.Key)
+		}
+	}
+	got, err := bundle.EncodeCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if os.Getenv("HAFT_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %s (%d runs)", goldenPath, bundle.Summary.Runs)
+		return
+	}
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("no golden bundle (%v); generate with HAFT_UPDATE_GOLDEN=1", err)
+	}
+	if bytes.Equal(want, got) {
+		return
+	}
+	golden, err := DecodeBundle(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Diff(golden, bundle)
+	if rep.Regression() {
+		t.Errorf("smoke matrix regressed vs golden:\n%s", rep.String())
+	} else {
+		// Byte drift without semantic regressions (e.g. new runs):
+		// still a failure — the golden must be regenerated consciously.
+		t.Errorf("smoke bundle drifted from golden without regressions "+
+			"(additions? format change?) — regenerate if intentional:\n%s", rep.String())
+	}
+}

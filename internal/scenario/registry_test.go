@@ -1,0 +1,235 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegistrySelfCheck is the registry's load-time contract: every
+// declared scenario expands without error, run keys are unique across
+// the whole matrix, and the matrix is big and wide enough to cover the
+// repository's fault-tolerance surface.
+func TestRegistrySelfCheck(t *testing.T) {
+	r := DefaultRegistry()
+	runs, err := r.Expand(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) < 200 {
+		t.Fatalf("matrix expands to %d runs, want >= 200", len(runs))
+	}
+	seen := make(map[string]bool, len(runs))
+	models := map[string]bool{}
+	modes := map[string]bool{}
+	engines := map[string]bool{}
+	for _, run := range runs {
+		k := run.Key()
+		if seen[k] {
+			t.Errorf("duplicate run key %s", k)
+		}
+		seen[k] = true
+		if run.Seed == 0 {
+			t.Errorf("run %s has zero seed", k)
+		}
+		models[run.Axes.Model] = true
+		modes[run.Axes.Mode] = true
+		engines[run.Axes.Engine] = true
+	}
+	for _, m := range []string{"reg", "mem", "branch", "addr", "skip", "double"} {
+		if !models[m] {
+			t.Errorf("no run covers fault model %q", m)
+		}
+	}
+	for _, m := range []string{"ilr", "haft", "tmr"} {
+		if !modes[m] {
+			t.Errorf("no run covers hardening mode %q", m)
+		}
+	}
+	for _, e := range []string{"compiled", "step"} {
+		if !engines[e] {
+			t.Errorf("no run covers engine %q", e)
+		}
+	}
+}
+
+// TestRegistryAxisRoundTrip pushes every expanded run through the
+// bundle encoder and back: keys, axes and seeds must survive exactly
+// (the bundle is the only artifact a resumed or diffed matrix sees).
+func TestRegistryAxisRoundTrip(t *testing.T) {
+	runs, err := DefaultRegistry().Expand(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]Record, len(runs))
+	for i, run := range runs {
+		recs[i] = Record{
+			Key: run.Key(), Scenario: run.Scenario.Name, Axes: run.Axes,
+			Seed: run.Seed, Outcome: OutcomePass, Attempts: 1,
+		}
+	}
+	b := NewBundle(7, "", recs)
+	data, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeBundle(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := make(map[string]Record, len(back.Records))
+	for _, r := range back.Records {
+		byKey[r.Key] = r
+	}
+	for _, run := range runs {
+		r, ok := byKey[run.Key()]
+		if !ok {
+			t.Fatalf("run %s lost in encode/decode", run.Key())
+		}
+		if r.Axes != run.Axes {
+			t.Errorf("run %s axes changed: %+v -> %+v", run.Key(), run.Axes, r.Axes)
+		}
+		if r.Seed != run.Seed {
+			t.Errorf("run %s seed changed: %d -> %d", run.Key(), run.Seed, r.Seed)
+		}
+		if r.Key != run.Scenario.Name+":"+r.Axes.String() {
+			t.Errorf("run key %s does not round-trip through its axes", r.Key)
+		}
+	}
+}
+
+// TestRegistryValidation exercises the declaration-time checks: bad
+// metadata, unknown axis values, dead coverage and kind hygiene are
+// all registration errors.
+func TestRegistryValidation(t *testing.T) {
+	base := func() *Scenario {
+		return &Scenario{
+			Name: "t/valid", Desc: "d", Owner: "o", Contacts: []string{"c"},
+			Attrs: []string{"a"}, Timeout: 1e9,
+			Matrix: Matrix{Workloads: []string{"histogram"}, Modes: []string{"haft"}},
+			Kind:   KindFI, MaxSDCRuns: -1,
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+		want   string
+	}{
+		{"missing owner", func(s *Scenario) { s.Owner = "" }, "owner"},
+		{"missing contacts", func(s *Scenario) { s.Contacts = nil }, "contact"},
+		{"missing attrs", func(s *Scenario) { s.Attrs = nil }, "attribute"},
+		{"missing timeout", func(s *Scenario) { s.Timeout = 0 }, "timeout"},
+		{"unknown workload", func(s *Scenario) { s.Matrix.Workloads = []string{"nope"} }, "nope"},
+		{"unknown mode", func(s *Scenario) { s.Matrix.Modes = []string{"nope"} }, "nope"},
+		{"unknown model", func(s *Scenario) { s.Matrix.Models = []string{"nope"} }, "nope"},
+		{"unknown flow", func(s *Scenario) { s.Matrix.Flows = []string{"nope"} }, "nope"},
+		{"unknown engine", func(s *Scenario) { s.Matrix.Engines = []string{"nope"} }, "engine"},
+		{"chaos on fi", func(s *Scenario) { s.Matrix.Chaos = []string{"light"} }, "chaos"},
+		{"model on serve", func(s *Scenario) {
+			s.Kind = KindServe
+			s.Matrix.Workloads = []string{"kvserve"}
+			s.Matrix.Models = []string{"reg"}
+		}, "serving"},
+		// shadow2 is tmr-only: declared under ilr it survives in no run.
+		{"dead flow coverage", func(s *Scenario) {
+			s.Matrix.Modes = []string{"ilr"}
+			s.Matrix.Models = []string{"reg"}
+			s.Matrix.Flows = []string{"master", "shadow2"}
+		}, "survives in no compatible run"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			s := base()
+			tc.mutate(s)
+			err := r.Register(s)
+			if err == nil {
+				t.Fatalf("registration succeeded, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+
+	// Duplicate names are rejected.
+	r := NewRegistry()
+	if err := r.Register(base()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(base()); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate registration: got %v", err)
+	}
+}
+
+// TestFlowPruning pins the shared mode->flow table's effect on
+// expansion: shadow2 survives only under tmr, shadow only under
+// redundant modes.
+func TestFlowPruning(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(&Scenario{
+		Name: "t/flows", Desc: "d", Owner: "o", Contacts: []string{"c"},
+		Attrs: []string{"a"}, Timeout: 1e9,
+		Matrix: Matrix{
+			Workloads: []string{"linearreg"},
+			Modes:     []string{"ilr", "haft", "tmr"},
+			Models:    []string{"reg"},
+			Flows:     []string{"master", "shadow", "shadow2"},
+		},
+		Kind: KindFI, MaxSDCRuns: -1,
+	})
+	runs, err := r.Expand(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, run := range runs {
+		got[run.Axes.Mode+"/"+run.Axes.Flow] = true
+	}
+	want := []string{"ilr/master", "ilr/shadow", "haft/master", "haft/shadow",
+		"tmr/master", "tmr/shadow", "tmr/shadow2"}
+	if len(runs) != len(want) {
+		t.Fatalf("got %d runs, want %d (%v)", len(runs), len(want), got)
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("combination %s missing after pruning", w)
+		}
+	}
+	if got["ilr/shadow2"] || got["haft/shadow2"] {
+		t.Error("shadow2 survived outside tmr")
+	}
+}
+
+// TestRunSeedStability pins the seed derivation: a run's seed depends
+// only on (harness seed, run key) — not on filtering or position.
+func TestRunSeedStability(t *testing.T) {
+	r := DefaultRegistry()
+	all, err := r.Expand(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySeed := make(map[string]uint64, len(all))
+	for _, run := range all {
+		bySeed[run.Key()] = run.Seed
+	}
+	smoke, err := r.Select(42, Filter{Attrs: []string{"smoke"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(smoke) == 0 {
+		t.Fatal("smoke subset is empty")
+	}
+	for _, run := range smoke {
+		if run.Seed != bySeed[run.Key()] {
+			t.Errorf("run %s: seed changed under filtering (%d vs %d)",
+				run.Key(), run.Seed, bySeed[run.Key()])
+		}
+	}
+	other, err := r.Expand(43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other[0].Seed == all[0].Seed {
+		t.Error("different harness seeds produced the same run seed")
+	}
+}
