@@ -9,7 +9,15 @@
 //	haftload [-addr 127.0.0.1:7171] [-workload A] [-rate 0]
 //	         [-duration 10s] [-conns 8] [-records 1024]
 //	         [-valuework 4] [-verify] [-seed 1] [-json]
-//	         [-cluster] [-out results.json]
+//	         [-cluster] [-out results.json] [-trace] [-slowest 5]
+//
+// With -trace (the default) every request carries a client-minted
+// 64-bit trace id over the wire ("tid=<hex>"), deterministically
+// derived from the seed, connection, and request ordinal — the id the
+// server and router stamp on their spans, so a slow or corrupted
+// request found here can be chased through the merged cluster trace
+// (cmd/haftobs) by its id. The summary prints the -slowest N request
+// trace ids with their latencies.
 //
 // The endpoint can be a single haftserve or a haftrouter cluster front
 // end — the wire protocol is identical. With -cluster the final stats
@@ -57,7 +65,44 @@ type clientResult struct {
 	LatencyP50    float64         `json:"latency_p50_s"`
 	LatencyP95    float64         `json:"latency_p95_s"`
 	LatencyP99    float64         `json:"latency_p99_s"`
+	Slowest       []slowTrace     `json:"slowest,omitempty"`
 	Server        json.RawMessage `json:"server,omitempty"`
+}
+
+// slowTrace names one of the slowest requests by its trace id, the
+// handle for chasing it through the merged cluster trace.
+type slowTrace struct {
+	Trace   string  `json:"trace"`
+	Seconds float64 `json:"seconds"`
+	Write   bool    `json:"write"`
+	Key     uint64  `json:"key"`
+	Conn    int     `json:"conn"`
+}
+
+// sample is one successful request's client-side measurement.
+type sample struct {
+	lat   time.Duration
+	tid   uint64
+	write bool
+	key   uint64
+	conn  int
+}
+
+// mintTrace derives the deterministic nonzero trace id for request n
+// on connection conn (splitmix64 over a seed/conn/ordinal mix).
+func mintTrace(seed int64, conn int, n uint64) uint64 {
+	x := uint64(seed)*0x9e3779b97f4a7c15 + uint64(conn)<<32 + n + 1
+	for {
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		if x != 0 {
+			return x
+		}
+		x++
+	}
 }
 
 func main() {
@@ -73,6 +118,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "print the server snapshot as JSON")
 	clusterStats := flag.Bool("cluster", false, "the endpoint is a haftrouter: render stats as a cluster snapshot")
 	out := flag.String("out", "", "write the client-side results (plus the raw server snapshot) as JSON to this file")
+	trace := flag.Bool("trace", true, "tag every request with a deterministic trace id (tid=<hex>)")
+	slowest := flag.Int("slowest", 5, "print the N slowest requests' trace ids in the summary")
 	flag.Parse()
 
 	var w ycsb.Workload
@@ -113,7 +160,7 @@ func main() {
 	}
 
 	var sent, failed, corrupted, dialAttempts atomic.Uint64
-	lats := make([][]time.Duration, *conns)
+	lats := make([][]sample, *conns)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for i := 0; i < *conns; i++ {
@@ -128,7 +175,8 @@ func main() {
 			}
 			defer c.Close()
 			gen := ycsb.NewGenerator(w, *seed+int64(i)*1000003)
-			var mine []time.Duration
+			var mine []sample
+			var n uint64
 			for time.Now().Before(deadline) {
 				if tokens != nil {
 					if _, ok := <-tokens; !ok {
@@ -140,22 +188,32 @@ func main() {
 				if req.Write {
 					req.Value = r.Key*2654435761 + uint64(i)
 				}
+				var tid uint64
+				if *trace {
+					tid = mintTrace(*seed, i, n)
+				}
+				n++
 				t0 := time.Now()
 				var v uint64
 				var err error
 				if req.Write {
-					v, err = c.Put(req.Key, req.Value)
+					v, err = c.PutTraced(req.Key, req.Value, tid)
 				} else {
-					v, err = c.Get(req.Key)
+					v, err = c.GetTraced(req.Key, tid)
 				}
 				sent.Add(1)
 				if err != nil {
 					failed.Add(1)
 					continue
 				}
-				mine = append(mine, time.Since(t0))
+				mine = append(mine, sample{lat: time.Since(t0), tid: tid,
+					write: req.Write, key: req.Key, conn: i})
 				if *verify && v != haft.ServeReference(req, *valueWork) {
 					corrupted.Add(1)
+					if tid != 0 {
+						fmt.Fprintf(os.Stderr, "haftload: corrupted reply, trace 0x%x (conn %d key %d)\n",
+							tid, i, req.Key)
+					}
 				}
 			}
 			lats[i] = mine
@@ -164,11 +222,11 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var all []time.Duration
+	var all []sample
 	for _, l := range lats {
 		all = append(all, l...)
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	sort.Slice(all, func(i, j int) bool { return all[i].lat < all[j].lat })
 	pct := func(q float64) time.Duration {
 		if len(all) == 0 {
 			return 0
@@ -177,7 +235,17 @@ func main() {
 		if i >= len(all) {
 			i = len(all) - 1
 		}
-		return all[i]
+		return all[i].lat
+	}
+	// The tail, newest-worst first: the trace ids worth chasing through
+	// the merged cluster trace.
+	var slow []slowTrace
+	if *trace && *slowest > 0 {
+		for i := len(all) - 1; i >= 0 && len(slow) < *slowest; i-- {
+			s := all[i]
+			slow = append(slow, slowTrace{Trace: fmt.Sprintf("0x%x", s.tid),
+				Seconds: s.lat.Seconds(), Write: s.write, Key: s.key, Conn: s.conn})
+		}
 	}
 
 	ok := uint64(len(all))
@@ -190,6 +258,14 @@ func main() {
 	fmt.Printf("  throughput  %.0f req/s\n", float64(ok)/elapsed.Seconds())
 	fmt.Printf("  latency     p50=%s p95=%s p99=%s\n",
 		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
+	for i, s := range slow {
+		op := "get"
+		if s.Write {
+			op = "put"
+		}
+		fmt.Printf("  slow #%d     %s  %.3fms  %s key=%d conn=%d\n",
+			i+1, s.Trace, s.Seconds*1e3, op, s.Key, s.Conn)
+	}
 
 	// Pull the endpoint's own accounting over the same wire. A router
 	// endpoint answers "stats" with the cluster snapshot (-cluster
@@ -235,6 +311,7 @@ func main() {
 			LatencyP50:    pct(0.50).Seconds(),
 			LatencyP95:    pct(0.95).Seconds(),
 			LatencyP99:    pct(0.99).Seconds(),
+			Slowest:       slow,
 			Server:        rawStats,
 		}
 		b, _ := json.MarshalIndent(res, "", "  ")

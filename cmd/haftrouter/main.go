@@ -11,6 +11,13 @@
 //	           [-addr :7170] [-replicas 3] [-vnodes 64] [-shards 64]
 //	           [-conns-per-node 8] [-health-interval 100ms]
 //	           [-metrics 0] [-json] [-debug-addr addr]
+//	           [-node router] [-flight-dir dir]
+//
+// Every request carries a trace id (client-provided tid=<hex> or
+// router-minted) that the router stamps on its dispatch/vote spans and
+// forwards to every replica, so "haftobs collect" can join the router
+// and node rings into one causally linked cluster trace. -flight-dir
+// makes every masked (outvoted) reply write a forensic JSON bundle.
 //
 // Reads fan out to every healthy replica of the key's shard and only a
 // majority-agreed reply is delivered; a disagreeing replica's reply is
@@ -50,6 +57,8 @@ func main() {
 	metricsEvery := flag.Int("metrics", 0, "print a metrics snapshot every N seconds (0 = off)")
 	jsonOut := flag.Bool("json", false, "print metrics as JSON instead of a table")
 	debugAddr := flag.String("debug-addr", "", "HTTP debug listener: /metrics, /trace, /healthz (empty = off)")
+	node := flag.String("node", "", "router name in traces and flight bundles (default \"router\")")
+	flightDir := flag.String("flight-dir", "", "write a forensic flight bundle per masked reply into this directory (empty = memory only)")
 	flag.Parse()
 
 	addrs := strings.FieldsFunc(*nodes, func(r rune) bool { return r == ',' || r == ' ' })
@@ -68,6 +77,14 @@ func main() {
 	cfg.VNodes = *vnodes
 	cfg.Shards = *shards
 	cfg.HealthInterval = *healthInterval
+	cfg.Node = *node
+	cfg.FlightDir = *flightDir
+	if *flightDir != "" {
+		if err := os.MkdirAll(*flightDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "haftrouter: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	c, err := haft.NewCluster(backends, cfg)
 	if err != nil {

@@ -8,6 +8,12 @@
 //	haftserve [-addr :7171] [-pool 8] [-batch 32] [-queue 1024]
 //	          [-seu 0] [-records 1024] [-valuework 4] [-mode haft]
 //	          [-metrics 0] [-json] [-debug-addr addr]
+//	          [-node name] [-flight-dir dir]
+//
+// -node names this process in traces and forensic bundles; -flight-dir
+// makes every detected corruption (ILR detection, TMR correction,
+// verifier reject, crash, hang) write a JSON flight bundle there,
+// replayable with "haftobs replay".
 //
 // Drive it with cmd/haftload (or any client of the text protocol:
 // "get <k>", "put <k> <v>", "scan <k> <n>", "stats", "ping"). On
@@ -49,6 +55,8 @@ func main() {
 	metricsEvery := flag.Int("metrics", 0, "print a metrics snapshot every N seconds (0 = off)")
 	jsonOut := flag.Bool("json", false, "print metrics as JSON instead of a table")
 	debugAddr := flag.String("debug-addr", "", "HTTP debug listener: /metrics, /trace, /healthz (empty = off)")
+	node := flag.String("node", "", "node name in traces and flight bundles (default \"serve\")")
+	flightDir := flag.String("flight-dir", "", "write a forensic flight bundle per detected corruption into this directory (empty = memory only)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
 		"graceful-shutdown drain bound on SIGINT/SIGTERM (0 = wait forever)")
 	flag.Parse()
@@ -63,6 +71,14 @@ func main() {
 	cfg.MaxRetries = *retries
 	cfg.QuarantineAfter = *quarantine
 	cfg.Seed = *seed
+	cfg.Node = *node
+	cfg.FlightDir = *flightDir
+	if *flightDir != "" {
+		if err := os.MkdirAll(*flightDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "haftserve: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	switch *mode {
 	case "native":
 		cfg.Harden.Mode = haft.ModeNative

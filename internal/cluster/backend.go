@@ -223,9 +223,9 @@ func (b *RemoteBackend) Do(req serve.Request) (uint64, error) {
 	}
 	var v uint64
 	if req.Write {
-		v, err = c.Put(req.Key, req.Value)
+		v, err = c.PutTraced(req.Key, req.Value, req.TraceID)
 	} else {
-		v, err = c.Get(req.Key)
+		v, err = c.GetTraced(req.Key, req.TraceID)
 	}
 	if err != nil {
 		// Server-side errors ("ERR ...") keep the connection usable;

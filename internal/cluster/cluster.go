@@ -6,10 +6,12 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/workloads"
 )
 
 // Config parameterizes a Cluster.
@@ -56,6 +58,14 @@ type Config struct {
 	Seed int64
 	// TraceDepth sizes the router's observability ring (default 8192).
 	TraceDepth int
+	// Node names the router in traces and flight bundles (default
+	// "router").
+	Node string
+	// FlightDir, when set, makes the router write one JSON flight
+	// bundle per masked corrupted reply; FlightMax bounds the bundles
+	// kept in memory (default 64).
+	FlightDir string
+	FlightMax int
 }
 
 // DefaultConfig returns the standard router configuration.
@@ -74,6 +84,7 @@ func DefaultConfig() Config {
 		LogRetention:       1 << 16,
 		Seed:               1,
 		TraceDepth:         8192,
+		Node:               "router",
 	}
 }
 
@@ -158,6 +169,10 @@ type Cluster struct {
 	shards  []*shardLog
 	metrics *Metrics
 	obsRing *obs.Ring
+	flight  *obs.FlightRecorder
+	// tidCounter feeds the trace-id mint for requests that arrive
+	// untagged (direct Get/Put callers, old clients).
+	tidCounter atomic.Uint64
 
 	// primaries[shard] is the acting primary's replica ordinal,
 	// guarded by pmu; failovers are detected against it.
@@ -217,6 +232,9 @@ func New(backends []Backend, cfg Config) (*Cluster, error) {
 	if cfg.TraceDepth <= 0 {
 		cfg.TraceDepth = d.TraceDepth
 	}
+	if cfg.Node == "" {
+		cfg.Node = d.Node
+	}
 
 	ids := make([]string, len(backends))
 	for i, b := range backends {
@@ -232,9 +250,11 @@ func New(backends []Backend, cfg Config) (*Cluster, error) {
 		ring:      ring,
 		metrics:   newMetrics(ids),
 		obsRing:   obs.NewRing(cfg.TraceDepth),
+		flight:    obs.NewFlightRecorder(cfg.Node, cfg.FlightDir, cfg.FlightMax),
 		primaries: make([]int, cfg.Shards),
 		closed:    make(chan struct{}),
 	}
+	c.tidCounter.Store(uint64(cfg.Seed) << 20)
 	c.nodes = make([]*node, len(backends))
 	for i, b := range backends {
 		c.nodes[i] = &node{idx: i, be: b}
@@ -260,6 +280,23 @@ func (c *Cluster) event(ev obs.Event) {
 	c.obsRing.Emit(ev)
 }
 
+// mintTrace returns a fresh nonzero trace id for a request that arrived
+// untagged. splitmix64 over a seeded counter keeps ids well-spread (they
+// key flow arrows and merge joins) yet deterministic per run.
+func (c *Cluster) mintTrace() uint64 {
+	for {
+		x := c.tidCounter.Add(1)
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		if x != 0 {
+			return x
+		}
+	}
+}
+
 // Quorum returns the vote/ack quorum (majority of the replication
 // factor — a single corrupted replica can never win a vote, even when
 // the rest of its replica set is down).
@@ -273,6 +310,9 @@ func (c *Cluster) Ring() *Ring { return c.ring }
 
 // ObsRing returns the router's observability ring buffer.
 func (c *Cluster) ObsRing() *obs.Ring { return c.obsRing }
+
+// Flight returns the router's flight recorder (vote-mask bundles).
+func (c *Cluster) Flight() *obs.FlightRecorder { return c.flight }
 
 // Node returns backend i (tests reach through this to node metrics).
 func (c *Cluster) Node(i int) Backend { return c.nodes[i].be }
@@ -357,21 +397,55 @@ func tally(results []callResult) (best uint64, bestN int, losers []callResult, o
 
 // maskLosers counts and reports every reply that disagreed with the
 // winning majority: each is a detected corruption, masked before
-// delivery, and suspicion against the emitting node.
-func (c *Cluster) maskLosers(shard int, losers []callResult) {
+// delivery, and suspicion against the emitting node. Every mask also
+// captures a "vote-mask" flight bundle so forensics can chase the
+// corrupted reply back into the emitting node's own bundles by trace
+// id.
+func (c *Cluster) maskLosers(req serve.Request, shard int, best uint64, losers []callResult) {
 	for _, r := range losers {
 		id := r.node.be.ID()
 		c.metrics.mask(id, 1)
 		c.event(obs.Event{Kind: obs.KindVoteMask, Actor: int32(r.node.idx),
-			A: uint64(shard), B: r.val, Label: id})
+			A: uint64(shard), B: r.val, Label: id, TraceID: req.TraceID})
+		c.recordMask(req, shard, best, id, r.val)
 		c.suspect(r.node)
 	}
+}
+
+// recordMask captures the router-side forensic bundle for one masked
+// reply: the request word, the majority the cluster delivered, the
+// outvoted value, and the router ring neighborhood.
+func (c *Cluster) recordMask(req serve.Request, shard int, best uint64, nodeID string, masked uint64) {
+	word := workloads.KVRequestWord(req.Write, req.Key, req.Value)
+	b := &obs.FlightBundle{
+		Kind:     "vote-mask",
+		Cause:    "reply from " + nodeID + " outvoted by majority",
+		Requests: []string{obs.HexWord(word)},
+		Replies:  []string{obs.HexWord(masked)},
+		Expected: []string{obs.HexWord(best)},
+		Shard:    shard,
+		Majority: obs.HexWord(best),
+		Masked:   obs.HexWord(masked),
+	}
+	if req.TraceID != 0 {
+		b.Trace = obs.HexWord(req.TraceID)
+		b.Traces = []string{obs.HexWord(req.TraceID)}
+	}
+	evs := c.obsRing.Snapshot()
+	const window = 64
+	if len(evs) > window {
+		evs = evs[len(evs)-window:]
+	}
+	b.Window = obs.ToRecords(evs)
+	c.flight.Record(b)
 }
 
 // doRead fans a read out to the shard's readable replicas and
 // delivers only a majority-of-R agreed value.
 func (c *Cluster) doRead(req serve.Request) (uint64, error) {
 	shard := c.ring.ShardOf(req.Key)
+	c.event(obs.Event{Kind: obs.KindDispatch, A: uint64(shard),
+		Label: "read", TraceID: req.TraceID})
 	replicas := c.shards[shard].replicas
 	var lastErr error
 	for attempt := 0; ; attempt++ {
@@ -389,7 +463,9 @@ func (c *Cluster) doRead(req serve.Request) (uint64, error) {
 			best, bestN, losers, ok := tally(results)
 			c.metrics.vote(ok)
 			if bestN >= c.quorum {
-				c.maskLosers(shard, losers)
+				c.event(obs.Event{Kind: obs.KindVote, A: uint64(shard),
+					B: best, TraceID: req.TraceID})
+				c.maskLosers(req, shard, best, losers)
 				return best, nil
 			}
 			lastErr = fmt.Errorf("%w: shard %d: best %d/%d (of %d replies)",
@@ -418,6 +494,8 @@ func (c *Cluster) doRead(req serve.Request) (uint64, error) {
 // retries simply re-fan to every writable replica.
 func (c *Cluster) doWrite(req serve.Request) (uint64, error) {
 	shard := c.ring.ShardOf(req.Key)
+	c.event(obs.Event{Kind: obs.KindDispatch, A: uint64(shard),
+		Label: "write", TraceID: req.TraceID})
 	lg := c.shards[shard]
 	entry := lg.append(req)
 	defer lg.truncate(c.cfg.LogRetention)
@@ -443,7 +521,9 @@ func (c *Cluster) doWrite(req serve.Request) (uint64, error) {
 			best, bestN, losers, ok := tally(results)
 			c.metrics.vote(ok)
 			if bestN >= c.quorum && applied >= c.quorum {
-				c.maskLosers(shard, losers)
+				c.event(obs.Event{Kind: obs.KindVote, A: uint64(shard),
+					B: best, TraceID: req.TraceID})
+				c.maskLosers(req, shard, best, losers)
 				lg.ack(entry)
 				c.metrics.ackedWrite()
 				return best, nil
@@ -474,6 +554,11 @@ func (c *Cluster) Do(req serve.Request) (uint64, error) {
 	case <-c.closed:
 		return 0, ErrClusterClosed
 	default:
+	}
+	if req.TraceID == 0 {
+		// Untagged request: mint the trace id here so the dispatch,
+		// per-node exec, and vote spans still join into one trace.
+		req.TraceID = c.mintTrace()
 	}
 	c.metrics.request(req.Write)
 	t0 := time.Now()
@@ -814,6 +899,7 @@ func (c *Cluster) DebugHandler(extra ...func(io.Writer)) http.Handler {
 		Metrics: append([]func(io.Writer){prom}, extra...),
 		Ring:    c.obsRing,
 		Health:  c.Health,
+		Node:    c.cfg.Node,
 	})
 }
 

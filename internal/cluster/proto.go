@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"repro/internal/serve"
 )
 
 // The router speaks the exact same line-oriented text protocol as a
@@ -25,6 +27,12 @@ import (
 // The one divergence is "stats": it returns the *cluster* snapshot
 // (votes, masked corruptions, failovers, replays) rather than a
 // single node's serve snapshot.
+//
+// Like a single node, get and put accept an optional trailing
+// "tid=<hex>" trace-id token; the router threads it through its
+// dispatch/vote spans and forwards it to every replica so the whole
+// fan-out shares one trace id. Untagged requests get a router-minted
+// id.
 
 // maxScan bounds one scan command (matches the serve protocol bound).
 const maxScan = 1024
@@ -85,23 +93,35 @@ func (c *Cluster) dispatch(w *bufio.Writer, line string) bool {
 		fmt.Fprintf(w, "ERR "+format+"\n", a...)
 		return true
 	}
+	// The optional trailing "tid=<hex>" token on get/put carries the
+	// client's trace id (mirrors the serve protocol).
+	var tid uint64
+	if cmd == "get" || cmd == "put" {
+		if n := len(args); n > 0 && strings.HasPrefix(args[n-1], "tid=") {
+			v, err := parseNum(strings.TrimPrefix(args[n-1], "tid="))
+			if err != nil {
+				return fail("bad tid: %v", err)
+			}
+			tid, args = v, args[:n-1]
+		}
+	}
 	switch cmd {
 	case "get":
 		if len(args) != 1 {
-			return fail("usage: get <key>")
+			return fail("usage: get <key> [tid=<hex>]")
 		}
 		key, err := parseNum(args[0])
 		if err != nil {
 			return fail("bad key: %v", err)
 		}
-		v, err := c.Get(key)
+		v, err := c.Do(serve.Request{Key: key, TraceID: tid})
 		if err != nil {
 			return fail("%v", err)
 		}
 		fmt.Fprintf(w, "VALUE %#x\n", v)
 	case "put":
 		if len(args) != 2 {
-			return fail("usage: put <key> <value>")
+			return fail("usage: put <key> <value> [tid=<hex>]")
 		}
 		key, err := parseNum(args[0])
 		if err != nil {
@@ -111,7 +131,7 @@ func (c *Cluster) dispatch(w *bufio.Writer, line string) bool {
 		if err != nil {
 			return fail("bad value: %v", err)
 		}
-		v, err := c.Put(key, val)
+		v, err := c.Do(serve.Request{Write: true, Key: key, Value: val, TraceID: tid})
 		if err != nil {
 			return fail("%v", err)
 		}

@@ -33,6 +33,16 @@ func ChromeTrace(events []Event, opt ChromeOptions) []byte {
 	if opt.CyclesPerUsec <= 0 {
 		opt.CyclesPerUsec = 2000 // cpu.FreqGHz * 1e3
 	}
+	// First pass: count occurrences per trace id so flow arrows can be
+	// emitted (start at the first span, step at middles, finish at the
+	// last). Ids appearing once get no flow — nothing to link.
+	flows := make(map[uint64]int)
+	for i := range events {
+		if events[i].TraceID != 0 {
+			flows[events[i].TraceID]++
+		}
+	}
+	seen := make(map[uint64]int, len(flows))
 	var b bytes.Buffer
 	b.WriteString(`{"traceEvents":[` + "\n")
 	b.WriteString(`{"name":"process_name","ph":"M","pid":1,"args":{"name":"vm"}},` + "\n")
@@ -41,10 +51,36 @@ func ChromeTrace(events []Event, opt ChromeOptions) []byte {
 		ev := &events[i]
 		b.WriteString(",\n")
 		writeChromeEvent(&b, ev, opt.CyclesPerUsec)
+		if ev.TraceID != 0 && flows[ev.TraceID] > 1 {
+			seen[ev.TraceID]++
+			b.WriteString(",\n")
+			writeChromeFlow(&b, ev, opt.CyclesPerUsec, seen[ev.TraceID], flows[ev.TraceID])
+		}
 	}
 	fmt.Fprintf(&b, "\n],\n\"displayTimeUnit\":\"ns\",\n\"otherData\":{\"dropped\":%d,\"events\":%d}}\n",
 		opt.Dropped, len(events))
 	return b.Bytes()
+}
+
+// writeChromeFlow emits a Perfetto flow event anchored at ev: "s"
+// (start) for the first occurrence of the trace id, "t" (step) for
+// middles, "f" (finish, binding to the enclosing slice's end) for the
+// last. Viewers render these as arrows linking the request's spans
+// across processes.
+func writeChromeFlow(b *bytes.Buffer, ev *Event, cyclesPerUsec float64, nth, total int) {
+	pid, ts := 1, float64(ev.Time)/cyclesPerUsec
+	if ev.Domain == DomainWall {
+		pid, ts = 2, float64(ev.Time)/1e3
+	}
+	ph, extra := "t", ""
+	switch {
+	case nth == 1:
+		ph = "s"
+	case nth == total:
+		ph, extra = "f", `,"bp":"e"`
+	}
+	fmt.Fprintf(b, `{"name":"trace","cat":"trace","ph":"%s","id":"0x%x","pid":%d,"tid":%d,"ts":%s%s}`,
+		ph, ev.TraceID, pid, ev.Actor, strconv.FormatFloat(ts, 'f', 3, 64), extra)
 }
 
 func writeChromeEvent(b *bytes.Buffer, ev *Event, cyclesPerUsec float64) {
@@ -135,6 +171,16 @@ func writeChromeArgs(b *bytes.Buffer, ev *Event) {
 		if ev.Label != "" {
 			arg(&first, "state", quoteJSON(ev.Label))
 		}
+	case KindDispatch:
+		arg(&first, "shard", u(ev.A))
+		if ev.Label != "" {
+			arg(&first, "op", quoteJSON(ev.Label))
+		}
+	case KindVote:
+		arg(&first, "shard", u(ev.A))
+		arg(&first, "value", u(ev.B))
+	case KindExec:
+		arg(&first, "id", u(ev.A))
 	case KindCampaignRun:
 		if ev.Label != "" {
 			arg(&first, "model", quoteJSON(ev.Label))
@@ -151,6 +197,9 @@ func writeChromeArgs(b *bytes.Buffer, ev *Event) {
 		if ev.B != 0 {
 			arg(&first, "b", u(ev.B))
 		}
+	}
+	if ev.TraceID != 0 {
+		arg(&first, "trace", `"0x`+strconv.FormatUint(ev.TraceID, 16)+`"`)
 	}
 	arg(&first, "seq", u(ev.Seq))
 }

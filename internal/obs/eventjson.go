@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// EventRecord is the portable JSON form of an Event, used by the raw
+// /trace endpoint, the cluster collector, and flight-recorder bundles.
+// 64-bit payloads that may exceed 2^53 (trace ids, values) are encoded
+// as 0x-prefixed hex strings so non-Go tooling never rounds them.
+type EventRecord struct {
+	Seq    uint64 `json:"seq"`
+	Kind   string `json:"kind"`
+	Domain string `json:"domain"` // "vm" or "wall"
+	Actor  int32  `json:"actor"`
+	Time   uint64 `json:"time"`
+	A      string `json:"a,omitempty"`
+	B      string `json:"b,omitempty"`
+	Label  string `json:"label,omitempty"`
+	Trace  string `json:"trace,omitempty"`
+}
+
+func hexWord(v uint64) string {
+	if v == 0 {
+		return ""
+	}
+	return "0x" + strconv.FormatUint(v, 16)
+}
+
+// ParseHexWord decodes the 0x-hex (or decimal) encoding used by
+// EventRecord and flight bundles; the empty string is zero.
+func ParseHexWord(s string) (uint64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	return strconv.ParseUint(s, 0, 64)
+}
+
+// ToRecord converts an in-memory Event to its portable form.
+func ToRecord(ev Event) EventRecord {
+	dom := "vm"
+	if ev.Domain == DomainWall {
+		dom = "wall"
+	}
+	return EventRecord{
+		Seq:    ev.Seq,
+		Kind:   ev.Kind.String(),
+		Domain: dom,
+		Actor:  ev.Actor,
+		Time:   ev.Time,
+		A:      hexWord(ev.A),
+		B:      hexWord(ev.B),
+		Label:  ev.Label,
+		Trace:  hexWord(ev.TraceID),
+	}
+}
+
+// FromRecord is the inverse of ToRecord.
+func FromRecord(r EventRecord) (Event, error) {
+	k, ok := KindFromString(r.Kind)
+	if !ok {
+		return Event{}, fmt.Errorf("obs: unknown event kind %q", r.Kind)
+	}
+	dom := DomainVM
+	if r.Domain == "wall" {
+		dom = DomainWall
+	}
+	a, err := ParseHexWord(r.A)
+	if err != nil {
+		return Event{}, fmt.Errorf("obs: event %d field a: %v", r.Seq, err)
+	}
+	b, err := ParseHexWord(r.B)
+	if err != nil {
+		return Event{}, fmt.Errorf("obs: event %d field b: %v", r.Seq, err)
+	}
+	tid, err := ParseHexWord(r.Trace)
+	if err != nil {
+		return Event{}, fmt.Errorf("obs: event %d field trace: %v", r.Seq, err)
+	}
+	return Event{
+		Seq:     r.Seq,
+		Kind:    k,
+		Domain:  dom,
+		Actor:   r.Actor,
+		Time:    r.Time,
+		A:       a,
+		B:       b,
+		Label:   r.Label,
+		TraceID: tid,
+	}, nil
+}
+
+// ToRecords maps ToRecord over a snapshot.
+func ToRecords(evs []Event) []EventRecord {
+	out := make([]EventRecord, len(evs))
+	for i, ev := range evs {
+		out[i] = ToRecord(ev)
+	}
+	return out
+}
+
+// FromRecords maps FromRecord over a decoded slice.
+func FromRecords(rs []EventRecord) ([]Event, error) {
+	out := make([]Event, len(rs))
+	for i, r := range rs {
+		ev, err := FromRecord(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ev
+	}
+	return out, nil
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sampleBundle(kind string) *FlightBundle {
+	return &FlightBundle{
+		Kind:        kind,
+		Cause:       "test",
+		Trace:       "0xbeef",
+		Traces:      []string{"0xbeef"},
+		RequestIDs:  []uint64{7},
+		Requests:    []string{"0x8000000000000003"},
+		Replies:     []string{"0x1234"},
+		Expected:    []string{"0x5678"},
+		Status:      "ok",
+		ProgramHash: "0xdeadbeef",
+		Mode:        "haft",
+		OptLevel:    "F",
+		HardenFlags: map[string]bool{"optimize": true},
+		TxThreshold: 50,
+		HTMSeed:     42,
+		Records:     64,
+		ValueWork:   4,
+		MaxBatch:    8,
+		Faults: []FaultRecord{{
+			Model: "reg", Flow: "any", TargetIndex: 99,
+			Mask: "0x40", Injected: true, Where: "kv_serve/body xor",
+		}},
+		Window: []EventRecord{{Seq: 1, Kind: "exec", Domain: "wall", Trace: "0xbeef"}},
+	}
+}
+
+func TestFlightBundleRoundTrip(t *testing.T) {
+	b := sampleBundle("sdc-audit")
+	back, err := DecodeFlightBundle(b.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(b, back) {
+		t.Fatalf("round trip mismatch:\nwant %+v\ngot  %+v", b, back)
+	}
+}
+
+func TestFlightRecorderBoundsAndFiles(t *testing.T) {
+	dir := t.TempDir()
+	r := NewFlightRecorder("node/1", dir, 4)
+	for i := 0; i < 10; i++ {
+		r.Record(sampleBundle("verify-reject"))
+	}
+	if r.Count() != 10 {
+		t.Fatalf("count: got %d, want 10", r.Count())
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("recorder file error: %v", err)
+	}
+	kept := r.Bundles()
+	if len(kept) != 4 {
+		t.Fatalf("retained: got %d, want 4 (bounded)", len(kept))
+	}
+	// Oldest dropped first: retained bundles are the last four stamped.
+	if kept[0].Seq != 6 || kept[3].Seq != 9 {
+		t.Fatalf("retained seqs: %d..%d, want 6..9", kept[0].Seq, kept[3].Seq)
+	}
+	for _, b := range kept {
+		if b.Node != "node/1" || b.Version != 1 {
+			t.Fatalf("identity not stamped: %+v", b)
+		}
+	}
+
+	// Every record also landed as one parseable file, slash sanitized.
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(paths) != 10 {
+		t.Fatalf("bundle files: %d (%v), want 10", len(paths), err)
+	}
+	b, err := LoadFlightBundle(paths[0])
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if b.Kind != "verify-reject" || b.Node != "node/1" {
+		t.Fatalf("loaded bundle: kind=%q node=%q", b.Kind, b.Node)
+	}
+	if base := filepath.Base(paths[0]); base != "node_1-flight-0000-verify-reject.json" {
+		t.Fatalf("file name not sanitized: %q", base)
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var r *FlightRecorder
+	r.Record(sampleBundle("x")) // must not panic
+	if r.Bundles() != nil || r.Count() != 0 || r.Err() != nil {
+		t.Fatal("nil recorder must be inert")
+	}
+}
+
+func TestFlightRecorderBadDirSurfacesErr(t *testing.T) {
+	r := NewFlightRecorder("n", filepath.Join(os.DevNull, "nope"), 4)
+	r.Record(sampleBundle("crashed"))
+	if r.Err() == nil {
+		t.Fatal("expected a file-write error for an unusable directory")
+	}
+	if len(r.Bundles()) != 1 {
+		t.Fatal("in-memory recording must survive file-write failure")
+	}
+}

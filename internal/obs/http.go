@@ -5,6 +5,8 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"sort"
+	"strconv"
 )
 
 // Health is what /healthz reports.
@@ -25,9 +27,23 @@ type HandlerConfig struct {
 	Ring *Ring
 	// Chrome parameterizes the /trace export.
 	Chrome ChromeOptions
+	// Node names this process in raw trace scrapes (the cluster
+	// collector stamps it on merged events).
+	Node string
 	// Health backs /healthz: 200 with a JSON body when OK, 503
 	// otherwise.
 	Health func() Health
+}
+
+// RawTrace is the machine-readable /trace?raw=1 response consumed by
+// the cluster collector. Now is the node's wall clock (Ring.Now) read
+// at scrape time, which the collector uses for offset alignment.
+type RawTrace struct {
+	Node    string        `json:"node"`
+	Now     uint64        `json:"now"`
+	Total   uint64        `json:"total"`
+	Dropped uint64        `json:"dropped"`
+	Events  []EventRecord `json:"events"`
 }
 
 // NewHandler returns the debug mux: /metrics, /trace, /healthz, and
@@ -56,10 +72,33 @@ func NewHandler(cfg HandlerConfig) http.Handler {
 			http.NotFound(w, req)
 			return
 		}
+		evs := cfg.Ring.Snapshot()
+		if s := req.URL.Query().Get("since"); s != "" {
+			since, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since cursor: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			// Snapshot is seq-sorted; binary-search the cursor.
+			lo := sort.Search(len(evs), func(i int) bool { return evs[i].Seq >= since })
+			evs = evs[lo:]
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if req.URL.Query().Get("raw") != "" {
+			raw := RawTrace{
+				Node:    cfg.Node,
+				Now:     cfg.Ring.Now(),
+				Total:   cfg.Ring.Total(),
+				Dropped: cfg.Ring.Dropped(),
+				Events:  ToRecords(evs),
+			}
+			enc := json.NewEncoder(w)
+			enc.Encode(raw)
+			return
+		}
 		opt := cfg.Chrome
 		opt.Dropped = cfg.Ring.Dropped()
-		w.Header().Set("Content-Type", "application/json")
-		w.Write(ChromeTrace(cfg.Ring.Snapshot(), opt))
+		w.Write(ChromeTrace(evs, opt))
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
 		h := Health{OK: true}

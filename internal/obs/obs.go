@@ -75,6 +75,15 @@ const (
 	// diverging replica in place; A is the majority value, B the
 	// outlier value, Label the voting site.
 	KindVoteCorrect
+	// KindDispatch records the cluster router fanning a request out to
+	// a shard's replica set; A is the shard, Label "read" or "write".
+	KindDispatch
+	// KindVote records the cluster voter electing a majority reply for
+	// a read; A is the shard, B the winning value.
+	KindVote
+	// KindExec records a request entering a VM run on a pool instance;
+	// A is the request id, Actor the instance.
+	KindExec
 
 	numKinds
 )
@@ -97,6 +106,9 @@ var kindNames = [numKinds]string{
 	KindFailover:     "failover",
 	KindNodeState:    "node.state",
 	KindVoteCorrect:  "vote.correct",
+	KindDispatch:     "dispatch",
+	KindVote:         "vote",
+	KindExec:         "exec",
 }
 
 func (k Kind) String() string {
@@ -104,6 +116,17 @@ func (k Kind) String() string {
 		return kindNames[k]
 	}
 	return "unknown"
+}
+
+// KindFromString is the inverse of Kind.String; ok is false for
+// unknown names.
+func KindFromString(s string) (Kind, bool) {
+	for k, n := range kindNames {
+		if n == s {
+			return Kind(k), true
+		}
+	}
+	return 0, false
 }
 
 // Domain says which clock an event's Time belongs to.
@@ -131,6 +154,10 @@ type Event struct {
 	Time uint64
 	// A and B are kind-specific payloads (see the Kind constants).
 	A, B uint64
+	// TraceID correlates events belonging to one end-to-end request
+	// across processes (router dispatch → node exec → vote). Zero
+	// means untraced.
+	TraceID uint64
 	// Label is a kind-specific string payload, interned on emission.
 	Label string
 	// LabelID is a pre-interned label (from Ring.Intern); used when

@@ -37,10 +37,10 @@ type Ring struct {
 }
 
 // slot payload words: [0] kind/domain/actor, [1] time, [2] a, [3] b,
-// [4] label id.
+// [4] label id, [5] trace id.
 type slot struct {
 	seq atomic.Uint64
-	w   [5]atomic.Uint64
+	w   [6]atomic.Uint64
 }
 
 // NewRing returns a ring retaining the most recent `size` events
@@ -120,6 +120,7 @@ func (r *Ring) Emit(ev Event) {
 	s.w[2].Store(ev.A)
 	s.w[3].Store(ev.B)
 	s.w[4].Store(id)
+	s.w[5].Store(ev.TraceID)
 	s.seq.Store(pub)
 }
 
@@ -135,7 +136,7 @@ func (r *Ring) Snapshot() []Event {
 		if v1 == 0 || v1&1 == 1 {
 			continue // empty or mid-write
 		}
-		var w [5]uint64
+		var w [6]uint64
 		for j := range w {
 			w[j] = s.w[j].Load()
 		}
@@ -156,6 +157,7 @@ func (r *Ring) Snapshot() []Event {
 			B:       w[3],
 			LabelID: w[4],
 			Label:   r.names.lookup(w[4]),
+			TraceID: w[5],
 		})
 	}
 	sort.Slice(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })

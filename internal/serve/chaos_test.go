@@ -8,13 +8,17 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/workloads"
 )
 
 // TestServeChaosZeroCorrupted is the headline chaos experiment:
 // instances are killed and hit by multi-upset SEU storms mid-traffic,
 // yet every delivered reply must match the reference — the retry,
-// quarantine and rebuild machinery absorbs every failure.
+// quarantine and rebuild machinery absorbs every failure. Every
+// request carries a trace id, so the run doubles as the tracing
+// non-perturbation check: the ids must come back out in the exec and
+// response spans without costing a single correct reply.
 func TestServeChaosZeroCorrupted(t *testing.T) {
 	cfg := testConfig()
 	cfg.Pool = 3
@@ -38,7 +42,8 @@ func TestServeChaosZeroCorrupted(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			req := Request{Write: i%4 == 0, Key: uint64(i % s.Records()), Value: uint64(i)}
+			req := Request{Write: i%4 == 0, Key: uint64(i % s.Records()), Value: uint64(i),
+				TraceID: 0xc4a05 + uint64(i)}
 			v, err := s.Do(req)
 			if err != nil {
 				failed.Add(1) // loud failure, never a corrupted reply
@@ -51,6 +56,23 @@ func TestServeChaosZeroCorrupted(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
+
+	var execTraced, respTraced int
+	for _, ev := range s.Ring().Snapshot() {
+		switch ev.Kind {
+		case obs.KindExec:
+			if ev.TraceID != 0 {
+				execTraced++
+			}
+		case obs.KindResponse:
+			if ev.TraceID != 0 {
+				respTraced++
+			}
+		}
+	}
+	if execTraced == 0 || respTraced == 0 {
+		t.Fatalf("trace ids missing from spans: exec=%d response=%d", execTraced, respTraced)
+	}
 
 	m := s.Metrics()
 	t.Logf("chaos: events=%v faultedRuns=%d retries=%d rebuilds=%d failed=%d corrupted=%d",

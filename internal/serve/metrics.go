@@ -160,6 +160,13 @@ type Metrics struct {
 	aborts      map[string]uint64
 
 	hist latencyHist
+	// queueHist and execHist split each response's latency at the
+	// instant its batch run started: queue wait (queueing + retry
+	// backoffs) and execution (VM run + verification). Each keeps its
+	// own reservoir so the split has the same percentile fidelity as
+	// the end-to-end histogram.
+	queueHist latencyHist
+	execHist  latencyHist
 
 	poolSize   int
 	poolBusy   int
@@ -227,10 +234,12 @@ func (m *Metrics) chaosEvent(kind string) {
 
 func (m *Metrics) deadlineExceeded() { m.mu.Lock(); m.deadlines++; m.mu.Unlock() }
 
-func (m *Metrics) response(latency time.Duration) {
+func (m *Metrics) response(latency, queueWait, exec time.Duration) {
 	m.mu.Lock()
 	m.responses++
 	m.hist.observe(latency)
+	m.queueHist.observe(queueWait)
+	m.execHist.observe(exec)
 	m.mu.Unlock()
 }
 
@@ -305,6 +314,17 @@ type Snapshot struct {
 	LatencyMean   float64 `json:"latency_mean_s"`
 	LatencyMax    float64 `json:"latency_max_s"`
 
+	// The queue-wait / execution split of the same latencies (the two
+	// components sum to the end-to-end figure per response).
+	QueueWaitP50  float64 `json:"queue_wait_p50_s"`
+	QueueWaitP95  float64 `json:"queue_wait_p95_s"`
+	QueueWaitP99  float64 `json:"queue_wait_p99_s"`
+	QueueWaitMean float64 `json:"queue_wait_mean_s"`
+	ExecP50       float64 `json:"exec_p50_s"`
+	ExecP95       float64 `json:"exec_p95_s"`
+	ExecP99       float64 `json:"exec_p99_s"`
+	ExecMean      float64 `json:"exec_mean_s"`
+
 	QueueDepth int `json:"queue_depth"`
 	PoolBusy   int `json:"pool_busy"`
 	PoolSize   int `json:"pool_size"`
@@ -342,6 +362,12 @@ func (m *Metrics) Snapshot() Snapshot {
 		LatencyP95:           m.hist.percentile(0.95),
 		LatencyP99:           m.hist.percentile(0.99),
 		LatencyMax:           float64(m.hist.max) / 1e9,
+		QueueWaitP50:         m.queueHist.percentile(0.50),
+		QueueWaitP95:         m.queueHist.percentile(0.95),
+		QueueWaitP99:         m.queueHist.percentile(0.99),
+		ExecP50:              m.execHist.percentile(0.50),
+		ExecP95:              m.execHist.percentile(0.95),
+		ExecP99:              m.execHist.percentile(0.99),
 		PoolBusy:             m.poolBusy,
 		PoolSize:             m.poolSize,
 	}
@@ -356,6 +382,12 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	if m.hist.total > 0 {
 		s.LatencyMean = m.hist.sum.Seconds() / float64(m.hist.total)
+	}
+	if m.queueHist.total > 0 {
+		s.QueueWaitMean = m.queueHist.sum.Seconds() / float64(m.queueHist.total)
+	}
+	if m.execHist.total > 0 {
+		s.ExecMean = m.execHist.sum.Seconds() / float64(m.execHist.total)
 	}
 	if s.ElapsedSeconds > 0 {
 		s.ThroughputRPS = float64(m.responses) / s.ElapsedSeconds
@@ -387,6 +419,10 @@ func (s Snapshot) Summary() string {
 	t.Add("latency p50/p95/p99 (ms)", fmt.Sprintf("%.3f / %.3f / %.3f",
 		s.LatencyP50*1e3, s.LatencyP95*1e3, s.LatencyP99*1e3))
 	t.AddF(3, "latency mean (ms)", s.LatencyMean*1e3)
+	t.Add("queue wait p50/p95/p99 (ms)", fmt.Sprintf("%.3f / %.3f / %.3f",
+		s.QueueWaitP50*1e3, s.QueueWaitP95*1e3, s.QueueWaitP99*1e3))
+	t.Add("exec p50/p95/p99 (ms)", fmt.Sprintf("%.3f / %.3f / %.3f",
+		s.ExecP50*1e3, s.ExecP95*1e3, s.ExecP99*1e3))
 	t.AddF(0, "vm runs", s.Runs)
 	t.AddF(0, "faulted runs", s.FaultedRuns)
 	t.Add("run status", mapLine(s.RunStatus))
@@ -463,6 +499,14 @@ func (m *Metrics) WriteProm(w io.Writer) {
 	g("latency_p95_seconds", "95th percentile request latency", m.hist.percentile(0.95))
 	g("latency_p99_seconds", "99th percentile request latency", m.hist.percentile(0.99))
 	g("latency_max_seconds", "maximum request latency", float64(m.hist.max)/1e9)
+	g("queue_wait_p50_seconds", "median queue wait (queueing + retry backoffs)", m.queueHist.percentile(0.50))
+	g("queue_wait_p95_seconds", "95th percentile queue wait", m.queueHist.percentile(0.95))
+	g("queue_wait_p99_seconds", "99th percentile queue wait", m.queueHist.percentile(0.99))
+	g("queue_wait_max_seconds", "maximum queue wait", float64(m.queueHist.max)/1e9)
+	g("exec_p50_seconds", "median execution time (VM run + verification)", m.execHist.percentile(0.50))
+	g("exec_p95_seconds", "95th percentile execution time", m.execHist.percentile(0.95))
+	g("exec_p99_seconds", "99th percentile execution time", m.execHist.percentile(0.99))
+	g("exec_max_seconds", "maximum execution time", float64(m.execHist.max)/1e9)
 	g("pool_size", "warm pool size", float64(m.poolSize))
 	g("pool_busy", "pool instances currently running a batch", float64(m.poolBusy))
 	if m.queueDepth != nil {

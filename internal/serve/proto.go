@@ -22,6 +22,11 @@ import (
 //
 // Any failure answers "ERR <message>" and keeps the connection open.
 // Keys and values accept decimal or 0x-prefixed hex.
+//
+// get and put accept an optional trailing "tid=<hex>" token carrying
+// the client's 64-bit trace id; servers without tracing simply thread
+// it through to their obs events. Old clients never send it, old
+// servers reject it loudly — the extension is opt-in per request.
 
 // maxScan bounds one scan command.
 const maxScan = 1024
@@ -87,23 +92,35 @@ func (s *Server) dispatch(w *bufio.Writer, line string) bool {
 		fmt.Fprintf(w, "ERR "+format+"\n", a...)
 		return true
 	}
+	// The optional trailing "tid=<hex>" token on get/put carries the
+	// request's trace id across the wire.
+	var tid uint64
+	if cmd == "get" || cmd == "put" {
+		if n := len(args); n > 0 && strings.HasPrefix(args[n-1], "tid=") {
+			v, err := parseNum(strings.TrimPrefix(args[n-1], "tid="))
+			if err != nil {
+				return fail("bad tid: %v", err)
+			}
+			tid, args = v, args[:n-1]
+		}
+	}
 	switch cmd {
 	case "get":
 		if len(args) != 1 {
-			return fail("usage: get <key>")
+			return fail("usage: get <key> [tid=<hex>]")
 		}
 		key, err := parseNum(args[0])
 		if err != nil {
 			return fail("bad key: %v", err)
 		}
-		v, err := s.Get(key)
+		v, err := s.Do(Request{Key: key, TraceID: tid})
 		if err != nil {
 			return fail("%v", err)
 		}
 		fmt.Fprintf(w, "VALUE %#x\n", v)
 	case "put":
 		if len(args) != 2 {
-			return fail("usage: put <key> <value>")
+			return fail("usage: put <key> <value> [tid=<hex>]")
 		}
 		key, err := parseNum(args[0])
 		if err != nil {
@@ -113,7 +130,7 @@ func (s *Server) dispatch(w *bufio.Writer, line string) bool {
 		if err != nil {
 			return fail("bad value: %v", err)
 		}
-		v, err := s.Put(key, val)
+		v, err := s.Do(Request{Write: true, Key: key, Value: val, TraceID: tid})
 		if err != nil {
 			return fail("%v", err)
 		}
@@ -207,7 +224,13 @@ func (c *Conn) roundTrip(cmd, wantTag string) (string, error) {
 
 // Get reads a key.
 func (c *Conn) Get(key uint64) (uint64, error) {
-	rest, err := c.roundTrip(fmt.Sprintf("get %d", key), "VALUE")
+	return c.GetTraced(key, 0)
+}
+
+// GetTraced reads a key, tagging the request with a trace id (0 sends
+// an untagged, backward-compatible command).
+func (c *Conn) GetTraced(key, tid uint64) (uint64, error) {
+	rest, err := c.roundTrip(fmt.Sprintf("get %d%s", key, tidToken(tid)), "VALUE")
 	if err != nil {
 		return 0, err
 	}
@@ -216,11 +239,24 @@ func (c *Conn) Get(key uint64) (uint64, error) {
 
 // Put writes a key and returns the server's reply word.
 func (c *Conn) Put(key, value uint64) (uint64, error) {
-	rest, err := c.roundTrip(fmt.Sprintf("put %d %d", key, value), "STORED")
+	return c.PutTraced(key, value, 0)
+}
+
+// PutTraced writes a key, tagging the request with a trace id (0 sends
+// an untagged, backward-compatible command).
+func (c *Conn) PutTraced(key, value, tid uint64) (uint64, error) {
+	rest, err := c.roundTrip(fmt.Sprintf("put %d %d%s", key, value, tidToken(tid)), "STORED")
 	if err != nil {
 		return 0, err
 	}
 	return parseNum(rest)
+}
+
+func tidToken(tid uint64) string {
+	if tid == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" tid=%#x", tid)
 }
 
 // Scan reads n consecutive keys starting at key.

@@ -32,6 +32,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math/rand"
 	"net"
@@ -41,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/ir"
 	"repro/internal/obs"
 	"repro/internal/vm"
 	"repro/internal/workloads"
@@ -94,6 +96,15 @@ type Config struct {
 	// retained; default 8192). The tracer is always on — it is
 	// lock-free and bounded — and feeds the /trace debug endpoint.
 	TraceDepth int
+	// Node names this server in raw trace scrapes and flight-recorder
+	// bundles (default "serve").
+	Node string
+	// FlightDir, when set, makes the flight recorder write each
+	// forensic bundle as a JSON file there (it always keeps the most
+	// recent FlightMax bundles in memory regardless).
+	FlightDir string
+	// FlightMax bounds the in-memory flight bundles (default 64).
+	FlightMax int
 }
 
 // ChaosConfig parameterizes the chaos layer: per-batch-run
@@ -140,11 +151,15 @@ func DefaultConfig() Config {
 	}
 }
 
-// Request is one key-value operation.
+// Request is one key-value operation. TraceID, when nonzero,
+// correlates the request's obs events (queue, exec, response, retries,
+// forensics) across the whole stack; the cluster router mints one for
+// untagged requests.
 type Request struct {
-	Write bool
-	Key   uint64
-	Value uint64
+	Write   bool
+	Key     uint64
+	Value   uint64
+	TraceID uint64
 }
 
 // ErrOverloaded is returned by TryDo when the queue is full.
@@ -159,6 +174,7 @@ var ErrDeadline = errors.New("serve: request deadline exceeded")
 // item is one queued request with its completion channel.
 type item struct {
 	id       uint64 // request id, for event correlation
+	tid      uint64 // trace id (0: untraced)
 	word     uint64
 	retries  int
 	exclude  int // instance id that last faulted on it (-1: none)
@@ -200,10 +216,15 @@ type Server struct {
 	queue   chan *item
 	metrics *Metrics
 	ring    *obs.Ring
-	reqID   atomic.Uint64
-	closed  chan struct{}
-	once    sync.Once
-	wg      sync.WaitGroup
+	flight  *obs.FlightRecorder
+	// progHash fingerprints the hardened module (fnv64a over its
+	// printed form) so a flight bundle can prove replay ran the same
+	// program.
+	progHash uint64
+	reqID    atomic.Uint64
+	closed   chan struct{}
+	once     sync.Once
+	wg       sync.WaitGroup
 
 	// draining rejects new submissions while Shutdown waits for the
 	// already-admitted requests (outstanding) to complete.
@@ -289,11 +310,16 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.TraceDepth <= 0 {
 		cfg.TraceDepth = 8192
 	}
+	if cfg.Node == "" {
+		cfg.Node = "serve"
+	}
 	s := &Server{
-		cfg:    cfg,
-		prog:   &hp,
-		ring:   obs.NewRing(cfg.TraceDepth),
-		closed: make(chan struct{}),
+		cfg:      cfg,
+		prog:     &hp,
+		ring:     obs.NewRing(cfg.TraceDepth),
+		flight:   obs.NewFlightRecorder(cfg.Node, cfg.FlightDir, cfg.FlightMax),
+		progHash: hashModule(mod),
+		closed:   make(chan struct{}),
 	}
 	s.mod = moduleSource{prog: &hp, cprog: vm.SharedPrograms.Get(hp.Module), cfg: vm.DefaultConfig()}
 	s.queue = make(chan *item, cfg.QueueDepth)
@@ -307,6 +333,14 @@ func NewServer(cfg Config) (*Server, error) {
 		go s.worker(i)
 	}
 	return s, nil
+}
+
+// hashModule fingerprints a module by its printed form: stable across
+// processes, sensitive to any instruction difference.
+func hashModule(m *ir.Module) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, m.String())
+	return h.Sum64()
 }
 
 // calibrate runs one full fault-free batch to measure the per-request
@@ -479,6 +513,9 @@ func (s *Server) runBatch(inst *instance, batch []*item) {
 
 	// Chaos layer: adversarial instance failures drawn from a
 	// dedicated RNG so they do not perturb SEU sampling.
+	// armed collects this run's fault plans so a detection can bundle
+	// the exact injection for forensic replay.
+	var armed []*vm.FaultPlan
 	storm := false
 	if c := s.cfg.Chaos; c.active() {
 		r := inst.chaosRng.Float64()
@@ -522,6 +559,7 @@ func (s *Server) runBatch(inst *instance, batch []*item) {
 				}
 			}
 			inst.mach.SetFaultPlans(plans)
+			armed = plans
 			s.metrics.chaosEvent("storm")
 			storm = true
 		}
@@ -532,15 +570,30 @@ func (s *Server) runBatch(inst *instance, batch []*item) {
 	// writes. A storm already armed this run's plans.
 	if p := s.cfg.SEURate * float64(len(batch)); !storm && p > 0 && inst.rng.Float64() < p {
 		pop := int64(s.perReqWrites * uint64(len(batch)))
-		inst.mach.SetFaultPlan(&vm.FaultPlan{
+		plan := &vm.FaultPlan{
 			TargetIndex: uint64(inst.rng.Int63n(pop)),
 			Mask:        randMask(inst.rng),
-		})
+		}
+		inst.mach.SetFaultPlan(plan)
+		armed = []*vm.FaultPlan{plan}
 		s.metrics.injectedFault()
 	}
 
+	// The run starts now: everything before this instant was queueing
+	// (including retry backoffs), everything after is execution.
+	runStart := time.Now()
+	for _, it := range batch {
+		s.event(obs.Event{Kind: obs.KindExec, Actor: int32(inst.id),
+			A: it.id, TraceID: it.tid})
+	}
+	// Snapshot the machine configuration that governs THIS run (a
+	// chaos hang cuts the budget; rebuilds advance the HTM seed
+	// lineage) so a flight bundle replays the run as it actually was.
+	runBudget := inst.mach.Cfg.MaxDynInstrs
+	htmSeed := inst.mach.Cfg.HTM.Seed
 	status := inst.mach.Run(s.prog.SpecsFor(1)...)
-	s.metrics.run(status, inst.mach.Stats(), inst.mach.HTM.Stats)
+	runStats := inst.mach.Stats()
+	s.metrics.run(status, runStats, inst.mach.HTM.Stats)
 	// Undo a chaos hang's budget cut (rebuild also restores it).
 	inst.mach.Cfg.MaxDynInstrs = s.runBudget
 
@@ -549,6 +602,8 @@ func (s *Server) runBatch(inst *instance, batch []*item) {
 		// hang): no reply from this run is trusted. Retry every
 		// request on a different instance, with backoff; quarantine
 		// the instance if it keeps faulting.
+		s.recordFlight(status.String(), runStats.CrashReason, inst, batch,
+			nil, nil, status, armed, runBudget, htmSeed)
 		inst.consecutiveFaults++
 		if inst.consecutiveFaults >= s.cfg.QuarantineAfter {
 			s.metrics.quarantine()
@@ -561,6 +616,13 @@ func (s *Server) runBatch(inst *instance, batch []*item) {
 	replies := make([]uint64, len(batch))
 	for i := range batch {
 		replies[i] = inst.mach.Peek(inst.replyAddr + uint64(i)*8)
+	}
+
+	if runStats.CorrectedFaults > 0 {
+		// A TMR majority vote corrected a replica in place: the run is
+		// clean but a corruption was detected — worth a dossier.
+		s.recordFlight("tmr-corrected", "", inst, batch,
+			replies, nil, status, armed, runBudget, htmSeed)
 	}
 
 	// Host-side verification: an SDC that slipped past ILR (a storm
@@ -586,14 +648,39 @@ func (s *Server) runBatch(inst *instance, batch []*item) {
 			deliverVals = append(deliverVals, replies[i])
 		}
 	}
+	if !s.cfg.Verify && anyInjected(armed) {
+		// Verification is off but a fault plan actually fired: audit
+		// the replies against the host reference purely for forensics
+		// (delivery below is unchanged — whatever defense the pool has,
+		// votes or nothing, stands on its own). A mismatch here is an
+		// SDC in flight, exactly the case the cluster voter masks.
+		expected := make([]uint64, len(batch))
+		sdc := false
+		for i, it := range batch {
+			expected[i] = workloads.KVReference(it.word, s.cfg.KV.ValueWork)
+			if replies[i] != expected[i] {
+				sdc = true
+			}
+		}
+		if sdc {
+			s.recordFlight("sdc-audit", "", inst, batch,
+				replies, expected, status, armed, runBudget, htmSeed)
+		}
+	}
 	if len(rejected) > 0 || badSum {
 		n := len(rejected)
 		if n == 0 {
 			n = 1 // checksum-only mismatch: per-reply checks all passed
 		}
+		var tid uint64
+		if len(rejected) > 0 {
+			tid = rejected[0].tid
+		}
 		s.metrics.verifyReject(n)
 		s.event(obs.Event{Kind: obs.KindVerifyReject, Actor: int32(inst.id),
-			A: uint64(n)})
+			A: uint64(n), TraceID: tid})
+		s.recordFlight("verify-reject", "", inst, batch,
+			replies, nil, status, armed, runBudget, htmSeed)
 		inst.consecutiveFaults++
 		if inst.consecutiveFaults >= s.cfg.QuarantineAfter {
 			s.metrics.quarantine()
@@ -612,13 +699,89 @@ func (s *Server) runBatch(inst *instance, batch []*item) {
 		}
 	}
 	now := time.Now()
+	exec := now.Sub(runStart)
 	for i, it := range deliverItems {
 		lat := now.Sub(it.enqueued)
-		s.metrics.response(lat)
+		// Split the end-to-end latency at the instant the batch run
+		// started: queue wait covers queueing and retry backoffs, exec
+		// covers the VM run plus verification. The two sum to lat.
+		s.metrics.response(lat, lat-exec, exec)
 		s.event(obs.Event{Kind: obs.KindResponse, Actor: int32(inst.id),
-			A: it.id, B: uint64(lat)})
+			A: it.id, B: uint64(lat), TraceID: it.tid})
 		s.finish(it, result{val: deliverVals[i]})
 	}
+}
+
+func anyInjected(plans []*vm.FaultPlan) bool {
+	for _, p := range plans {
+		if p.Injected {
+			return true
+		}
+	}
+	return false
+}
+
+// recordFlight captures a forensic bundle around a detected
+// corruption: the batch's requests and trace ids, the armed fault
+// plans, the exact machine configuration of the run, and the ring
+// window — everything the replay localizer needs. Bounded and
+// fire-and-forget: recording never fails the serving path.
+func (s *Server) recordFlight(kind, cause string, inst *instance, batch []*item,
+	replies, expected []uint64, status vm.Status, armed []*vm.FaultPlan,
+	runBudget uint64, htmSeed int64) {
+	b := &obs.FlightBundle{
+		Kind:        kind,
+		Cause:       cause,
+		Status:      status.String(),
+		ProgramHash: obs.HexWord(s.progHash),
+		Mode:        s.cfg.Harden.Mode.String(),
+		OptLevel:    s.cfg.Harden.Opt.String(),
+		HardenFlags: map[string]bool{
+			"optimize": s.cfg.Harden.Optimize,
+			"copyprop": s.cfg.Harden.CopyProp,
+			"rce":      s.cfg.Harden.ReduceChecks,
+			"coalesce": s.cfg.Harden.CoalesceChecks,
+			"relax":    s.cfg.Harden.RelaxTX,
+		},
+		TxThreshold:  s.cfg.Harden.TxThreshold,
+		HTMSeed:      htmSeed,
+		MaxDynInstrs: runBudget,
+		Records:      s.cfg.KV.Records,
+		ValueWork:    s.cfg.KV.ValueWork,
+		MaxBatch:     s.cfg.KV.MaxBatch,
+	}
+	for _, it := range batch {
+		b.RequestIDs = append(b.RequestIDs, it.id)
+		b.Requests = append(b.Requests, obs.HexWord(it.word))
+		b.Traces = append(b.Traces, obs.HexWord(it.tid))
+		if b.Trace == "" && it.tid != 0 {
+			b.Trace = obs.HexWord(it.tid)
+		}
+	}
+	for _, v := range replies {
+		b.Replies = append(b.Replies, obs.HexWord(v))
+	}
+	for _, v := range expected {
+		b.Expected = append(b.Expected, obs.HexWord(v))
+	}
+	for _, p := range armed {
+		b.Faults = append(b.Faults, obs.FaultRecord{
+			Model:       p.Model.String(),
+			Flow:        p.Flow.String(),
+			TargetIndex: p.TargetIndex,
+			Mask:        obs.HexWord(p.Mask),
+			Injected:    p.Injected,
+			Where:       p.Where,
+		})
+	}
+	// The ring window: the most recent events around the detection.
+	evs := s.ring.Snapshot()
+	const window = 64
+	if len(evs) > window {
+		evs = evs[len(evs)-window:]
+	}
+	b.Window = obs.ToRecords(evs)
+	s.flight.Record(b)
 }
 
 // failOrRetry applies the retry policy to a batch whose run produced
@@ -646,7 +809,7 @@ func (s *Server) failOrRetry(inst *instance, batch []*item, cause error) {
 		it.exclude = inst.id
 		s.metrics.retry()
 		s.event(obs.Event{Kind: obs.KindRetry, Actor: int32(inst.id),
-			A: uint64(it.retries), Label: "serve"})
+			A: uint64(it.retries), Label: "serve", TraceID: it.tid})
 		s.requeue(it, backoff)
 	}
 }
@@ -690,12 +853,13 @@ func (s *Server) submit(req Request, wait bool) (uint64, error) {
 	s.metrics.request()
 	it := &item{
 		id:       s.reqID.Add(1),
+		tid:      req.TraceID,
 		word:     workloads.KVRequestWord(req.Write, req.Key, req.Value),
 		exclude:  -1,
 		enqueued: time.Now(),
 		done:     make(chan result, 1),
 	}
-	s.event(obs.Event{Kind: obs.KindRequest, A: it.id})
+	s.event(obs.Event{Kind: obs.KindRequest, A: it.id, TraceID: it.tid})
 	// Count the request as outstanding BEFORE the enqueue attempt so
 	// the drain path can never observe a momentary zero while a just-
 	// admitted request races between queue and worker.
@@ -802,6 +966,13 @@ func (s *Server) Metrics() Snapshot { return s.metrics.Snapshot() }
 // rejects.
 func (s *Server) Ring() *obs.Ring { return s.ring }
 
+// Flight returns the server's forensic flight recorder.
+func (s *Server) Flight() *obs.FlightRecorder { return s.flight }
+
+// ProgramHash fingerprints the hardened serving program (fnv64a over
+// its printed module) — the identity flight bundles carry.
+func (s *Server) ProgramHash() uint64 { return s.progHash }
+
 // WriteProm renders the live metrics in Prometheus text exposition
 // format.
 func (s *Server) WriteProm(w io.Writer) { s.metrics.WriteProm(w) }
@@ -840,6 +1011,7 @@ func (s *Server) DebugHandler(extra ...func(io.Writer)) http.Handler {
 	return obs.NewHandler(obs.HandlerConfig{
 		Metrics: append([]func(io.Writer){s.metrics.WriteProm}, extra...),
 		Ring:    s.ring,
+		Node:    s.cfg.Node,
 		Health:  s.Health,
 	})
 }

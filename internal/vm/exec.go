@@ -497,6 +497,7 @@ func (m *Machine) commitReg(c *core, fr *frame, in *ir.Instr, res, ready uint64)
 			Core:  c.id,
 			Func:  fr.fn.Name,
 			Block: fr.fn.Blocks[fr.block].Name,
+			Line:  in.Line,
 			Op:    in.Op,
 			Res:   in.Res,
 			Value: fr.regs[in.Res],

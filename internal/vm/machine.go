@@ -518,6 +518,9 @@ type TraceEvent struct {
 	Core  int
 	Func  string
 	Block string
+	// Line is the instruction's source line (0 when the IR carries no
+	// line info); forensic replay uses it for per-line localization.
+	Line  int32
 	Op    ir.Op
 	Res   ir.ValueID
 	Value uint64

@@ -112,41 +112,73 @@ func KVServe(cfg KVServeConfig) *Program {
 	// kv_handle: hash the key, (de)serialize the value, access the
 	// table, and return the pure reply. Same shape as mc_handle but
 	// with the table feeding kv_state instead of the reply.
+	//
+	// Every logical statement is stamped with a pseudo-source line
+	// (statement index within the function) so flight-bundle replay can
+	// localize a fault to "kv_handle:<line>", not just a function; the
+	// hardening passes copy the line onto replicated/check instructions
+	// and the printed IR omits lines, so stamping cannot perturb
+	// program hashes or execution.
 	hb := newWorker("kv_handle", 1)
+	hl := stmtLines(hb)
 	req := hb.Param(0)
+	hl()
 	isW := hb.Shr(ir.Reg(req), ir.ConstInt(63))
+	hl()
 	key := hb.And(ir.Reg(req), ir.ConstUint(0xFFFFFFFF))
+	hl()
 	payload := hb.And(ir.Reg(req), ir.ConstUint(^uint64(0)>>1))
+	hl()
 	h1 := hb.Mul(ir.Reg(payload), ir.ConstUint(0x9E3779B97F4A7C15))
+	hl()
 	h2 := hb.Shr(ir.Reg(h1), ir.ConstInt(32))
+	hl()
 	bkt := hb.And(ir.Reg(h2), ir.ConstInt(buckets-1))
+	hl()
 	vA := hb.FrameAddr(hb.Alloca(8))
 	hb.Store(ir.Reg(vA), ir.Reg(h1))
+	hl()
 	hb.countedLoop(ir.ConstInt(0), ir.ConstInt(int64(cfg.ValueWork)), 1, func(r ir.ValueID) {
+		hl()
 		v := hb.Load(ir.Reg(vA))
+		hl()
 		m1 := hb.Mul(ir.Reg(v), ir.ConstInt(0x5851F42D))
+		hl()
 		s1 := hb.Shr(ir.Reg(m1), ir.ConstInt(17))
+		hl()
 		x1 := hb.Xor(ir.Reg(m1), ir.Reg(s1))
+		hl()
 		a1 := hb.Add(ir.Reg(x1), ir.Reg(r))
+		hl()
 		hb.Store(ir.Reg(vA), ir.Reg(a1))
 	})
+	hl()
 	val := hb.Load(ir.Reg(vA))
+	hl()
 	slotAddr := hb.addr(ir.ConstUint(table.Addr), bkt, 8, 0)
 	wBlk := hb.Block("put")
 	rBlk := hb.Block("get")
 	retBlk := hb.Block("reply")
+	hl()
 	hb.Br(ir.Reg(isW), wBlk, rBlk)
 	hb.SetBlock(wBlk)
+	hl()
 	hb.AStore(ir.Reg(slotAddr), ir.Reg(val))
 	hb.Jmp(retBlk)
 	hb.SetBlock(rBlk)
+	hl()
 	got := hb.ALoad(ir.Reg(slotAddr))
+	hl()
 	st := hb.Load(ir.ConstUint(state.Addr))
+	hl()
 	sx := hb.Xor(ir.Reg(st), ir.Reg(got))
+	hl()
 	hb.Store(ir.ConstUint(state.Addr), ir.Reg(sx))
 	hb.Jmp(retBlk)
 	hb.SetBlock(retBlk)
+	hl()
 	reply := hb.Xor(ir.Reg(val), ir.Reg(key))
+	hl()
 	hb.Ret(ir.Reg(reply))
 	handler := hb.Done()
 	handler.Attrs.Local = true
@@ -154,25 +186,41 @@ func KVServe(cfg KVServeConfig) *Program {
 	m.AddFunc(handler)
 
 	b := newWorker("kv_main", 0)
+	ml := stmtLines(b)
+	ml()
 	n := b.Load(ir.ConstUint(nreq.Addr))
+	ml()
 	accA := b.FrameAddr(b.Alloca(8))
 	b.Store(ir.Reg(accA), ir.ConstInt(0))
+	ml()
 	b.countedLoop(ir.ConstInt(0), ir.Reg(n), 1, func(i ir.ValueID) {
+		ml()
 		ra := b.addr(ir.ConstUint(reqs.Addr), i, 8, 0)
+		ml()
 		rw := b.Load(ir.Reg(ra))
+		ml()
 		reply := b.Call("kv_handle", ir.Reg(rw))
+		ml()
 		pa := b.addr(ir.ConstUint(replies.Addr), i, 8, 0)
+		ml()
 		b.Store(ir.Reg(pa), ir.Reg(reply))
+		ml()
 		acc := b.Load(ir.Reg(accA))
+		ml()
 		m1 := b.Mul(ir.Reg(acc), ir.ConstInt(31))
+		ml()
 		ns := b.Add(ir.Reg(m1), ir.Reg(reply))
+		ml()
 		b.Store(ir.Reg(accA), ir.Reg(ns))
 		// Per-request send: bounds each recovery transaction to ~one
 		// request, exactly like the Memcached program's reply flushes.
+		ml()
 		b.CallVoid("sys.write", ir.Reg(pa), ir.ConstInt(8))
 	})
+	ml()
 	fv := b.Load(ir.Reg(accA))
 	b.Out(ir.Reg(fv))
+	ml()
 	b.Ret()
 	worker := b.Done()
 	worker.Attrs.EventHandler = true

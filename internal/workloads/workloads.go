@@ -138,6 +138,19 @@ func newWorker(name string, nparams int) *builder {
 	return &builder{FuncBuilder: fb}
 }
 
+// stmtLines returns a closure that advances the builder's source-line
+// stamp by one logical statement per call. Generated programs have no
+// source file, so the statement index doubles as the line number —
+// giving fault forensics a stable "func:line" coordinate for every
+// instruction (hardening passes propagate it onto replicas/checks).
+func stmtLines(b *builder) func() {
+	line := 0
+	return func() {
+		line++
+		b.SetLine(line)
+	}
+}
+
 // countedLoop emits "for i = lo; i < hi; i += step { body(i) }".
 // The body callback may itself create blocks (nested loops); the
 // builder's insertion point ends at the loop exit block.
